@@ -1,0 +1,51 @@
+"""Encoding/decoding throughput of the codecs (section 6.2 / conclusion).
+
+The paper notes that "LDGM codes are an order of magnitude faster than RSE"
+and that this matters for large objects and small devices.  This benchmark
+measures the payload encode and decode throughput of both codecs in this
+pure-Python implementation.  Absolute numbers are far below the authors' C
+codecs, but the *relative* ordering (LDGM much faster than RSE at the same
+dimensions) is the property being checked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fec import make_code
+
+K = 256
+RATIO = 1.5
+SYMBOL_SIZE = 1024
+
+
+def make_payloads(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return [bytes(rng.integers(0, 256, size=SYMBOL_SIZE, dtype=np.uint8)) for _ in range(K)]
+
+
+@pytest.mark.parametrize("code_name", ["rse", "ldgm-staircase", "ldgm-triangle"])
+def bench_encode_throughput(benchmark, code_name):
+    code = make_code(code_name, k=K, expansion_ratio=RATIO, seed=1)
+    payloads = make_payloads()
+    encoder = code.new_encoder()
+    benchmark(encoder.encode, payloads)
+
+
+@pytest.mark.parametrize("code_name", ["rse", "ldgm-staircase", "ldgm-triangle"])
+def bench_decode_throughput(benchmark, code_name):
+    code = make_code(code_name, k=K, expansion_ratio=RATIO, seed=1)
+    payloads = make_payloads()
+    encoded = code.new_encoder().encode(payloads)
+    rng = np.random.default_rng(2)
+    # Drop 20% of the packets; deliver the rest in random order.
+    order = [int(i) for i in rng.permutation(code.n) if rng.random() > 0.2]
+
+    def decode():
+        decoder = code.new_decoder()
+        for index in order:
+            if decoder.add_packet(index, encoded[index]):
+                break
+        assert decoder.is_complete
+        return decoder
+
+    benchmark(decode)

@@ -1,0 +1,22 @@
+"""Figure 7 -- performance without FEC but 2 repetitions of every packet.
+
+The paper's motivation for FEC: sending every packet twice (in random
+order) only works on a loss-free channel, and even then the receiver has to
+wait for almost the whole transmission (inefficiency close to 2).
+"""
+
+import numpy as np
+
+from _shared import BENCH_RUNS, print_figure_report, run_figure_experiment
+
+
+def bench_fig07_no_fec(run_once):
+    grids = run_once(run_figure_experiment, "fig07", runs=BENCH_RUNS)
+    print_figure_report("fig07", grids)
+    grid = next(iter(grids.values()))
+
+    # Shape checks from the paper: only the p = 0 row decodes, and there the
+    # inefficiency ratio approaches the number of repetitions (2).
+    assert grid.decodable_mask[0].all()
+    assert not grid.decodable_mask[1:].any()
+    assert np.nanmin(grid.mean_inefficiency[0]) > 1.7

@@ -1,0 +1,33 @@
+"""Figure 8 -- Tx_model_1: source packets sequentially, then parity sequentially.
+
+Expected shape (paper, section 4.3): with any loss the inefficiency ratio
+stays close to ``n_received / k`` (the receiver waits for the end of the
+transmission), RSE covers a smaller decodable area than the LDGM codes, and
+with p = 0 every code is ideal (ratio 1.0).
+"""
+
+import numpy as np
+
+from _shared import BENCH_RUNS, print_figure_report, run_figure_experiment
+
+
+def bench_fig08_tx_model1(run_once):
+    grids = run_once(run_figure_experiment, "fig08", runs=BENCH_RUNS)
+    print_figure_report("fig08", grids)
+
+    for label, grid in grids.items():
+        # p = 0 row: no loss, source packets arrive first, ideal efficiency.
+        assert np.allclose(grid.mean_inefficiency[0], 1.0), label
+        # Where decoding succeeds with loss, the inefficiency tracks the
+        # total number of received packets (receiver waits for the end).
+        lossy = grid.decodable_mask.copy()
+        lossy[0] = False
+        if lossy.any():
+            tracked = grid.mean_inefficiency[lossy] >= 0.75 * grid.mean_received_ratio[lossy]
+            assert tracked.mean() > 0.8, label
+
+    # RSE's decodable area is no larger than LDGM Triangle's (same ratio).
+    for ratio in (1.5, 2.5):
+        rse = next(g for label, g in grids.items() if "rse" in label and str(ratio) in label)
+        ldgm = next(g for label, g in grids.items() if "triangle" in label and str(ratio) in label)
+        assert rse.coverage <= ldgm.coverage + 1e-9

@@ -1,0 +1,38 @@
+"""Figure 9 / Tables 1-4 -- Tx_model_2: source sequentially, parity randomly.
+
+Expected shape (paper, section 4.4): randomising the parity transmission
+fixes Tx_model_1; the LDGM codes outperform RSE, LDGM Staircase is the best
+at low loss rates while LDGM Triangle is more robust at higher/bursty loss
+rates.
+"""
+
+import numpy as np
+
+from _shared import BENCH_RUNS, grid_value, print_figure_report, run_figure_experiment
+
+
+def bench_fig09_tx_model2(run_once):
+    grids = run_once(run_figure_experiment, "fig09", runs=BENCH_RUNS)
+    print_figure_report("fig09", grids)
+
+    def pick(code, ratio):
+        return next(
+            grid for label, grid in grids.items() if code in label and str(ratio) in label
+        )
+
+    for ratio in (1.5, 2.5):
+        rse = pick("rse", ratio)
+        staircase = pick("staircase", ratio)
+        triangle = pick("triangle", ratio)
+        # Perfect channel: every code is ideal.
+        for grid in (rse, staircase, triangle):
+            assert np.allclose(grid.mean_inefficiency[0], 1.0)
+        # LDGM codes beat RSE on the moderate-loss region (paper's headline).
+        point = (0.05, 0.7)
+        if np.isfinite(grid_value(rse, *point)):
+            assert min(grid_value(staircase, *point), grid_value(triangle, *point)) <= grid_value(
+                rse, *point
+            ) + 0.02
+        # Staircase is the better code at low loss with random parity.
+        low_loss = (0.01, 1.0)
+        assert grid_value(staircase, *low_loss) <= grid_value(triangle, *low_loss) + 0.02

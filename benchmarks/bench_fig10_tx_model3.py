@@ -1,0 +1,30 @@
+"""Figure 10 -- Tx_model_3: parity packets sequentially, then source randomly.
+
+Expected shape (paper, section 4.5): on a perfect channel the receiver has
+to sit through (almost) the whole parity stream before the first source
+packet completes decoding, so the inefficiency ratio at p = 0 is close to
+the expansion ratio; overall the scheme is of little practical interest.
+"""
+
+import numpy as np
+
+from _shared import BENCH_RUNS, print_figure_report, run_figure_experiment
+
+
+def bench_fig10_tx_model3(run_once):
+    grids = run_once(run_figure_experiment, "fig10", runs=BENCH_RUNS)
+    print_figure_report("fig10", grids)
+
+    for label, grid in grids.items():
+        ratio = 2.5 if "2.5" in label else 1.5
+        value_at_p0 = float(np.nanmean(grid.mean_inefficiency[0]))
+        if ratio == 2.5:
+            # All n - k = 1.5k parity packets arrive first, then a handful of
+            # source packets complete decoding: inefficiency close to 1.5
+            # (paper: "the inefficiency ratio is ~1.5 for ratio 2.5").
+            assert 1.30 <= value_at_p0 <= 1.70, (label, value_at_p0)
+        else:
+            # At ratio 1.5 only 0.5k parity packets exist, so a substantial
+            # number of source packets is still needed and the ratio stays
+            # close to 1 (paper figure 10(d)-(f)).
+            assert 1.00 <= value_at_p0 <= 1.40, (label, value_at_p0)

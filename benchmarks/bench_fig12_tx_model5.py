@@ -1,0 +1,38 @@
+"""Figure 12 / Tables 7-8 -- Tx_model_5: packet interleaving (RSE).
+
+Expected shape (paper, section 4.7): interleaving is the best transmission
+scheme for RSE -- near-ideal at low loss, degrading gracefully as the global
+loss rate grows, and clearly better than sequential transmission
+(Tx_model_1) on bursty channels.
+"""
+
+import numpy as np
+
+from _shared import BENCH_RUNS, BENCH_SCALE, BENCH_SEED, grid_value, print_figure_report, run_figure_experiment
+from repro.core.config import SimulationConfig
+from repro.core.sweep import simulate_grid
+
+
+def bench_fig12_tx_model5(run_once):
+    grids = run_once(run_figure_experiment, "fig12", runs=BENCH_RUNS)
+    print_figure_report("fig12", grids)
+
+    for label, grid in grids.items():
+        # Perfect channel: exactly k packets needed (RSE is MDS + interleaved).
+        assert np.allclose(grid.mean_inefficiency[0], 1.0), label
+        # Inefficiency grows with the global loss rate but stays moderate.
+        assert grid.max_inefficiency() < 1.45, label
+
+    # Interleaving beats sequential transmission for RSE on a bursty channel.
+    rse_25 = next(grid for label, grid in grids.items() if "2.5" in label)
+    sequential = simulate_grid(
+        SimulationConfig(code="rse", tx_model="tx_model_1", k=BENCH_SCALE.k, expansion_ratio=2.5),
+        [0.05],
+        [0.2],
+        runs=BENCH_RUNS,
+        seed=BENCH_SEED,
+    )
+    interleaved_value = grid_value(rse_25, 0.05, 0.2)
+    sequential_value = sequential.mean_inefficiency[0, 0]
+    assert np.isfinite(interleaved_value)
+    assert (not np.isfinite(sequential_value)) or interleaved_value < sequential_value

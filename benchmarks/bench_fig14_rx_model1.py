@@ -1,0 +1,65 @@
+"""Figure 14 -- Rx_model_1: receive a few source packets, then parity randomly.
+
+Expected shape (paper, section 5.1): the inefficiency ratio of LDGM
+Staircase (ratio 2.5) as a function of the number of received source
+packets has a sweet spot at a few percent of k (400-1000 packets for
+k = 20000); receiving fewer or many more source packets degrades it.
+"""
+
+import numpy as np
+
+from _shared import BENCH_SCALE, BENCH_SEED, results_path
+from repro.core.config import SimulationConfig
+from repro.core.sweep import sweep_parameter
+
+#: Number of received source packets, as a fraction of k, swept by the bench.
+SOURCE_FRACTIONS = (0.0005, 0.001, 0.005, 0.01, 0.03, 0.05, 0.10, 0.25, 0.50)
+
+
+def run_sweep():
+    k = BENCH_SCALE.k
+
+    def make_config(num_source: float) -> SimulationConfig:
+        return SimulationConfig(
+            code="ldgm-staircase",
+            tx_model="rx_model_1",
+            k=k,
+            expansion_ratio=2.5,
+            tx_options={"num_source_packets": max(1, int(round(num_source)))},
+        )
+
+    counts = [max(1, int(round(fraction * k))) for fraction in SOURCE_FRACTIONS]
+    return sweep_parameter(
+        make_config,
+        counts,
+        parameter_name="received source packets",
+        p=0.0,
+        q=1.0,
+        runs=6,
+        seed=BENCH_SEED,
+        label="Rx_model_1, LDGM Staircase, ratio 2.5",
+    )
+
+
+def bench_fig14_rx_model1(run_once):
+    series = run_once(run_sweep)
+    lines = ["Figure 14: Rx_model_1 with LDGM Staircase (ratio 2.5)", ""]
+    lines.append(f"{'received source packets':>26s}  {'share of k':>10s}  {'mean inefficiency':>18s}")
+    for count, value in zip(series.parameter_values, series.mean_inefficiency):
+        lines.append(f"{int(count):>26d}  {count / BENCH_SCALE.k:>9.2%}  {value:>18.4f}")
+    best = series.best_parameter()
+    lines.append("")
+    lines.append(f"best value at {int(best)} received source packets "
+                 f"({best / BENCH_SCALE.k:.1%} of k; paper: 2-5% of k)")
+    report = "\n".join(lines)
+    print(report)
+    results_path("fig14_report.txt").write_text(report, encoding="utf-8")
+
+    assert np.all(series.failure_counts == 0)
+    # The optimum sits at a small but non-trivial share of k, and both the
+    # "1 packet" end and the "half of k" end are worse than the optimum.
+    values = series.mean_inefficiency
+    best_index = int(np.argmin(values))
+    assert 0 < best_index < len(SOURCE_FRACTIONS) - 1
+    assert values[best_index] < values[0]
+    assert values[best_index] < values[-1]

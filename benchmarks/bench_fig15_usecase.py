@@ -1,0 +1,63 @@
+"""Figure 15 -- all (code, tx model) combinations at the Amherst-LA channel.
+
+The paper fixes the channel at the Gilbert parameters fitted by Yajnik et
+al. for an Amherst -> Los Angeles path (p = 0.0109, q = 0.7915) and compares
+every transmission model and code at ratios 1.5 and 2.5.  Expected shape:
+(LDGM Staircase, Tx_model_2, ratio 1.5) is the winner with an inefficiency
+around 1.01, interleaving is what makes RSE competitive, and Tx_model_1 /
+Tx_model_3 are far behind.
+"""
+
+import numpy as np
+
+from _shared import BENCH_SCALE, BENCH_SEED, results_path
+from repro.analysis.comparison import DEFAULT_CODES, DEFAULT_TX_MODELS, compare_at_point
+from repro.analysis.paper_data import FIGURE15_CHANNEL
+from repro.analysis.tables import format_comparison_table
+
+
+def run_comparison(expansion_ratio: float):
+    p, q = FIGURE15_CHANNEL
+    return compare_at_point(
+        p,
+        q,
+        expansion_ratio=expansion_ratio,
+        k=BENCH_SCALE.k,
+        codes=DEFAULT_CODES,
+        tx_models=DEFAULT_TX_MODELS,
+        runs=4,
+        seed=BENCH_SEED,
+    )
+
+
+def bench_fig15_ratio_1_5(run_once):
+    comparison = run_once(run_comparison, 1.5)
+    report = "Figure 15(a): ratio 1.5, Amherst -> Los Angeles channel\n" + format_comparison_table(
+        comparison.values, row_order=list(DEFAULT_TX_MODELS), column_order=list(DEFAULT_CODES)
+    )
+    print(report)
+    results_path("fig15_ratio15.txt").write_text(report, encoding="utf-8")
+
+    tx_model, code, value = comparison.best()
+    # The best tuple uses a random or interleaved schedule, never tx_model_1/3.
+    assert tx_model not in ("tx_model_1", "tx_model_3")
+    assert value < 1.12
+    # LDGM Staircase + Tx_model_2 is excellent on this channel (paper: ~1.011).
+    assert comparison.values["tx_model_2"]["ldgm-staircase"] < 1.06
+
+
+def bench_fig15_ratio_2_5(run_once):
+    comparison = run_once(run_comparison, 2.5)
+    report = "Figure 15(b): ratio 2.5, Amherst -> Los Angeles channel\n" + format_comparison_table(
+        comparison.values, row_order=list(DEFAULT_TX_MODELS), column_order=list(DEFAULT_CODES)
+    )
+    print(report)
+    results_path("fig15_ratio25.txt").write_text(report, encoding="utf-8")
+
+    # Sequential schemes make the receiver wait for the end of the stream.
+    assert comparison.values["tx_model_1"]["rse"] > 1.5
+    # Interleaving is what makes RSE good.
+    assert comparison.values["tx_model_5"]["rse"] < comparison.values["tx_model_1"]["rse"]
+    # The random schemes keep the LDGM codes near their plateau.
+    assert comparison.values["tx_model_4"]["ldgm-triangle"] < 1.25
+    assert comparison.values["tx_model_6"]["ldgm-staircase"] < 1.2

@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+The benchmarks are one-shot reproductions of the paper's tables and figures;
+each simulation sweep is expensive, so every benchmark is run exactly once
+(``rounds=1``) via the helper fixture below instead of pytest-benchmark's
+default calibration loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the benched callable exactly once and return its result."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""File broadcast to heterogeneous receivers (the DVB-H / MBMS scenario).
+
+The paper's motivating context is IP Datacast / MBMS: one sender broadcasts
+a file to many receivers with no back channel, and every receiver sees its
+own loss process (movement, obstacles, distance...).  This example uses the
+FLUTE/ALC substrate end to end -- real packets, real payload decoding -- and
+shows why the paper recommends a random transmission order (Tx_model_4) with
+LDGM Triangle when the channels are unknown: every receiver then gets almost
+the same inefficiency ratio, whatever its loss pattern.
+
+Run with:  python examples/broadcast_file_delivery.py
+"""
+
+import numpy as np
+
+from repro.channel import BernoulliChannel, GilbertChannel
+from repro.flute import FluteReceiver, FluteSender
+
+#: The receiver population: same session, very different channels.
+RECEIVER_CHANNELS = {
+    "pedestrian, light loss": GilbertChannel(p=0.01, q=0.80),
+    "vehicular, bursty loss": GilbertChannel(p=0.05, q=0.25),
+    "cell edge, heavy loss": GilbertChannel(p=0.20, q=0.50),
+    "indoor, random loss": BernoulliChannel(0.15),
+}
+
+
+def broadcast(tx_model: str, code: str, expansion_ratio: float, seed: int = 2024) -> None:
+    rng = np.random.default_rng(seed)
+    object_data = bytes(rng.integers(0, 256, size=512 * 1024, dtype=np.uint8))  # 512 KiB file
+
+    sender = FluteSender(
+        object_data,
+        symbol_size=1024,
+        code=code,
+        expansion_ratio=expansion_ratio,
+        tx_model=tx_model,
+        seed=seed,
+        content_location="firmware-update.bin",
+    )
+    packets = list(sender.packets())
+    fdt_packet, data_packets = packets[0], packets[1:]
+    print(f"\n=== {code} + {tx_model} (ratio {expansion_ratio}) ===")
+    print(f"object: {len(object_data)} bytes -> k={sender.code.k} source packets, "
+          f"n={sender.code.n} packets on the wire")
+
+    for name, channel in RECEIVER_CHANNELS.items():
+        receiver = FluteReceiver(tsi=sender.tsi)
+        receiver.feed(fdt_packet)
+        loss_mask = channel.loss_mask(len(data_packets), rng)
+        for packet, lost in zip(data_packets, loss_mask):
+            if lost:
+                continue
+            if receiver.feed(packet):
+                break
+        if receiver.is_complete and receiver.object_data() == object_data:
+            print(f"  {name:28s} loss {channel.global_loss_probability:5.1%}  "
+                  f"-> decoded after {receiver.packets_until_decoded} packets "
+                  f"(inefficiency {receiver.inefficiency_ratio:.3f})")
+        else:
+            print(f"  {name:28s} loss {channel.global_loss_probability:5.1%}  "
+                  f"-> FAILED to decode (received {receiver.packets_received} packets)")
+
+
+if __name__ == "__main__":
+    # The paper's recommendation for unknown/heterogeneous channels...
+    broadcast("tx_model_4", "ldgm-triangle", expansion_ratio=2.5)
+    # ...versus a naive sequential transmission, which collapses under bursts.
+    broadcast("tx_model_1", "ldgm-triangle", expansion_ratio=2.5)
+    # ...and the classic RSE + interleaving combination for comparison.
+    broadcast("tx_model_5", "rse", expansion_ratio=2.5)

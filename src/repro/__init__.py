@@ -1,0 +1,80 @@
+"""Reproduction of Neumann et al., "Impacts of Packet Scheduling and Packet
+Loss Distribution on FEC Performances: Observations and Recommendations"
+(INRIA RR-5578, 2005).
+
+The package is organised as a set of small, composable subsystems:
+
+``repro.galois``
+    GF(2^8) arithmetic and matrix algebra used by the Reed-Solomon code.
+``repro.fec``
+    The FEC framework and the three codes studied in the paper: RSE
+    (Reed-Solomon erasure), LDGM Staircase and LDGM Triangle.
+``repro.channel``
+    Packet-loss channel models, most importantly the two-state Gilbert
+    (Markov) model, plus the analytic decodability limits of figure 6.
+``repro.scheduling``
+    The six transmission models (Tx_model_1..6), interleavers, the
+    repetition baseline of section 4.2 and the reception model of section 5.
+``repro.core``
+    The simulation engine: single runs, (p, q) grid sweeps, experiment
+    presets for every figure/table, the n_sent optimiser and the
+    recommendation engine of section 6.
+``repro.flute``
+    A small in-process FLUTE/ALC-like file-delivery substrate showing the
+    codes and schedulers in their motivating context.
+``repro.analysis``
+    Table formatting, ASCII surfaces, CSV export and comparison reports.
+
+Quickstart
+----------
+
+>>> from repro import simulate_grid, GilbertChannel
+>>> from repro.core import SimulationConfig
+>>> config = SimulationConfig(code="ldgm-triangle", tx_model="tx_model_2",
+...                           k=500, expansion_ratio=2.5)
+>>> result = simulate_grid(config, p_values=[0.0, 0.05], q_values=[0.5, 1.0],
+...                        runs=3, seed=1)
+>>> result.mean_inefficiency.shape
+(2, 2)
+"""
+
+from repro.channel import (
+    BernoulliChannel,
+    GilbertChannel,
+    PerfectChannel,
+    TraceChannel,
+)
+from repro.core import (
+    SimulationConfig,
+    Simulator,
+    simulate_grid,
+    simulate_once,
+)
+from repro.fec import (
+    LDGMCode,
+    LDGMStaircaseCode,
+    LDGMTriangleCode,
+    ReedSolomonCode,
+    make_code,
+)
+from repro.scheduling import make_tx_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BernoulliChannel",
+    "GilbertChannel",
+    "PerfectChannel",
+    "TraceChannel",
+    "SimulationConfig",
+    "Simulator",
+    "simulate_grid",
+    "simulate_once",
+    "LDGMCode",
+    "LDGMStaircaseCode",
+    "LDGMTriangleCode",
+    "ReedSolomonCode",
+    "make_code",
+    "make_tx_model",
+    "__version__",
+]

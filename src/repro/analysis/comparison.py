@@ -1,0 +1,108 @@
+"""Fixed-channel comparisons across (code, tx model, ratio) tuples.
+
+Figure 15 of the paper fixes the channel at the Amherst -> Los Angeles
+Gilbert parameters and compares every transmission model and code at both
+expansion ratios.  :func:`compare_at_point` reproduces that bar chart as a
+nested mapping, reusable for any channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.gilbert import GilbertChannel
+from repro.core.config import SimulationConfig
+from repro.core.metrics import CellStats
+from repro.core.simulator import Simulator
+from repro.utils.rng import RandomState
+
+#: Default sets compared by figure 15.
+DEFAULT_CODES = ("rse", "ldgm-staircase", "ldgm-triangle")
+DEFAULT_TX_MODELS = ("tx_model_1", "tx_model_2", "tx_model_3", "tx_model_4", "tx_model_5", "tx_model_6")
+
+
+@dataclass
+class ComparisonResult:
+    """Mean inefficiency per (tx model, code) at one channel point."""
+
+    p: float
+    q: float
+    expansion_ratio: float
+    k: int
+    runs: int
+    #: values[tx_model][code] = mean inefficiency (NaN if any run failed).
+    values: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: failures[tx_model][code] = number of failed runs.
+    failures: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def best(self) -> tuple[str, str, float]:
+        """(tx_model, code, inefficiency) with the smallest reliable value."""
+        best_entry: Optional[tuple[str, str, float]] = None
+        for tx_model, row in self.values.items():
+            for code, value in row.items():
+                if self.failures[tx_model][code] > 0 or not np.isfinite(value):
+                    continue
+                if best_entry is None or value < best_entry[2]:
+                    best_entry = (tx_model, code, value)
+        if best_entry is None:
+            raise ValueError("no (tx model, code) pair decoded reliably at this point")
+        return best_entry
+
+
+def compare_at_point(
+    p: float,
+    q: float,
+    *,
+    expansion_ratio: float = 2.5,
+    k: int = 1000,
+    codes: Sequence[str] = DEFAULT_CODES,
+    tx_models: Sequence[str] = DEFAULT_TX_MODELS,
+    runs: int = 10,
+    seed: RandomState = 0,
+) -> ComparisonResult:
+    """Simulate every (tx model, code) combination at one Gilbert point.
+
+    Combinations that make no sense are skipped automatically:
+    ``tx_model_6`` is only evaluated when the expansion ratio is large
+    enough to keep the number of transmitted packets above ``k`` (the paper
+    only uses it at ratio 2.5).
+    """
+    channel = GilbertChannel(p, q)
+    result = ComparisonResult(p=p, q=q, expansion_ratio=expansion_ratio, k=k, runs=runs)
+    seed_base = seed if isinstance(seed, (int, np.integer)) else 0
+
+    for tx_index, tx_name in enumerate(tx_models):
+        if tx_name == "tx_model_6" and expansion_ratio < 2.0:
+            continue
+        result.values[tx_name] = {}
+        result.failures[tx_name] = {}
+        for code_index, code_name in enumerate(codes):
+            tx_options = {"source_fraction": 0.2} if tx_name == "tx_model_6" else {}
+            config = SimulationConfig(
+                code=code_name,
+                tx_model=tx_name,
+                k=k,
+                expansion_ratio=expansion_ratio,
+                tx_options=tx_options,
+            )
+            code = config.build_code(
+                seed=np.random.default_rng(
+                    np.random.SeedSequence([int(seed_base), tx_index, code_index])
+                )
+            )
+            simulator = Simulator(code, config.build_tx_model(), channel)
+            stats = CellStats()
+            for run in range(runs):
+                run_rng = np.random.default_rng(
+                    np.random.SeedSequence([int(seed_base), tx_index, code_index, run])
+                )
+                stats.add(simulator.run(run_rng))
+            result.values[tx_name][code_name] = stats.mean_inefficiency
+            result.failures[tx_name][code_name] = stats.failures
+    return result
+
+
+__all__ = ["ComparisonResult", "compare_at_point", "DEFAULT_CODES", "DEFAULT_TX_MODELS"]

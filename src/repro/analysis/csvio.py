@@ -1,0 +1,108 @@
+"""CSV export/import of grid sweeps.
+
+The benchmark harness writes its grids to CSV so they can be re-plotted or
+compared across runs without re-simulating.  The format is long-form:
+
+    p,q,mean_inefficiency,mean_received_ratio,failures,runs
+
+with the grid label stored in a leading comment line.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.metrics import GridResult
+
+PathLike = Union[str, Path]
+
+
+def grid_to_csv(grid: GridResult, destination: Union[PathLike, io.TextIOBase, None] = None) -> str:
+    """Serialise a grid to CSV; optionally write it to ``destination``."""
+    buffer = io.StringIO()
+    buffer.write(f"# label: {grid.label}\n")
+    buffer.write(f"# runs: {grid.runs}\n")
+    writer = csv.writer(buffer)
+    writer.writerow(["p", "q", "mean_inefficiency", "mean_received_ratio", "failures", "runs"])
+    for i, p in enumerate(grid.p_values):
+        for j, q in enumerate(grid.q_values):
+            inefficiency = grid.mean_inefficiency[i, j]
+            writer.writerow(
+                [
+                    f"{p:.6f}",
+                    f"{q:.6f}",
+                    "" if not np.isfinite(inefficiency) else f"{inefficiency:.6f}",
+                    f"{grid.mean_received_ratio[i, j]:.6f}",
+                    int(grid.failure_counts[i, j]),
+                    grid.runs,
+                ]
+            )
+    text = buffer.getvalue()
+    if destination is None:
+        return text
+    if isinstance(destination, (str, Path)):
+        Path(destination).write_text(text, encoding="utf-8")
+    else:
+        destination.write(text)
+    return text
+
+
+def grid_from_csv(source: Union[PathLike, str]) -> GridResult:
+    """Rebuild a :class:`GridResult` from CSV produced by :func:`grid_to_csv`.
+
+    ``source`` may be a path or the CSV text itself.
+    """
+    if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source and Path(source).exists()):
+        text = Path(source).read_text(encoding="utf-8")
+    else:
+        text = str(source)
+
+    label = ""
+    runs = 0
+    rows: list[dict[str, str]] = []
+    data_lines = []
+    for line in text.splitlines():
+        if line.startswith("# label:"):
+            label = line.split(":", 1)[1].strip()
+        elif line.startswith("# runs:"):
+            runs = int(line.split(":", 1)[1].strip())
+        elif line.strip():
+            data_lines.append(line)
+    reader = csv.DictReader(data_lines)
+    for row in reader:
+        rows.append(row)
+    if not rows:
+        raise ValueError("the CSV contains no data rows")
+
+    p_values = sorted({float(row["p"]) for row in rows})
+    q_values = sorted({float(row["q"]) for row in rows})
+    p_index = {value: i for i, value in enumerate(p_values)}
+    q_index = {value: j for j, value in enumerate(q_values)}
+    shape = (len(p_values), len(q_values))
+    mean_inefficiency = np.full(shape, np.nan)
+    mean_received = np.full(shape, np.nan)
+    failures = np.zeros(shape, dtype=np.int64)
+    for row in rows:
+        i = p_index[float(row["p"])]
+        j = q_index[float(row["q"])]
+        mean_inefficiency[i, j] = float(row["mean_inefficiency"]) if row["mean_inefficiency"] else np.nan
+        mean_received[i, j] = float(row["mean_received_ratio"])
+        failures[i, j] = int(row["failures"])
+        runs = int(row["runs"])
+    return GridResult(
+        p_values=np.asarray(p_values),
+        q_values=np.asarray(q_values),
+        mean_inefficiency=mean_inefficiency,
+        mean_received_ratio=mean_received,
+        failure_counts=failures,
+        runs=runs,
+        label=label,
+    )
+
+
+__all__ = ["grid_to_csv", "grid_from_csv"]

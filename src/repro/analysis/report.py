@@ -1,0 +1,68 @@
+"""Plain-text reports for operators of a broadcast system.
+
+``recommendation_report`` combines the recommendation engine (section 6 of
+the paper) with the ``n_sent`` optimiser into a short, human-readable
+report: which (code, tx model, ratio) tuple to use for a channel and how
+many packets to actually send.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.channel.gilbert import GilbertChannel
+from repro.core.recommendations import (
+    Recommendation,
+    recommend_for_channel,
+    universal_recommendations,
+)
+from repro.utils.rng import RandomState
+
+
+def recommendation_report(
+    p: Optional[float] = None,
+    q: Optional[float] = None,
+    *,
+    k: int = 1000,
+    runs: int = 10,
+    seed: RandomState = 0,
+    top: int = 5,
+) -> str:
+    """Build a textual recommendation report.
+
+    With ``p`` and ``q`` given, candidate tuples are simulated on that
+    channel and ranked; without them, the paper's universal recommendations
+    for unknown channels are returned.
+    """
+    lines: list[str] = []
+    if p is None or q is None:
+        lines.append("Channel: unknown loss distribution")
+        lines.append("Recommended configurations (paper, section 6.2.2):")
+        for rank, recommendation in enumerate(universal_recommendations(), start=1):
+            lines.append(f"  {rank}. {recommendation.describe()}")
+        lines.append(
+            "Note: with heterogeneous receivers the random schemes give every "
+            "receiver nearly the same performance; RSE + interleaving does not."
+        )
+        return "\n".join(lines)
+
+    channel = GilbertChannel(p, q)
+    lines.append(
+        f"Channel: Gilbert p={p:.4f}, q={q:.4f} "
+        f"(global loss {channel.global_loss_probability:.2%}, "
+        f"mean burst {channel.mean_burst_length:.1f} packets)"
+    )
+    recommendations = recommend_for_channel(p, q, k=k, runs=runs, seed=seed)
+    reliable = [rec for rec in recommendations if rec.reliable]
+    unreliable = [rec for rec in recommendations if not rec.reliable]
+    lines.append(f"Ranked configurations (k={k}, {runs} runs each):")
+    for rank, recommendation in enumerate(reliable[:top], start=1):
+        lines.append(f"  {rank}. {recommendation.describe()}")
+    if unreliable:
+        lines.append("Not recommended (decoding failures observed):")
+        for recommendation in unreliable[: max(0, top - len(reliable))] or unreliable[:2]:
+            lines.append(f"  - {recommendation.describe()}")
+    return "\n".join(lines)
+
+
+__all__ = ["recommendation_report"]

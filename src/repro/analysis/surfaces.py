@@ -1,0 +1,68 @@
+"""ASCII rendering of (p, q) surfaces.
+
+The paper presents its results as 3-D gnuplot surfaces.  In a text-only
+environment a coarse character map is a practical substitute: each grid
+point is mapped to a character from a ramp (low inefficiency -> '.', high
+inefficiency -> '#', non-decodable -> ' ').
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.metrics import GridResult
+
+#: Character ramp from best (low inefficiency) to worst.
+DEFAULT_RAMP = ".:-=+*%#"
+
+
+def ascii_surface(
+    grid: GridResult,
+    *,
+    ramp: str = DEFAULT_RAMP,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+    legend: bool = True,
+) -> str:
+    """Render the mean-inefficiency surface of a grid as ASCII art.
+
+    Rows are ``p`` values (top = 0), columns are ``q`` values (left = 0);
+    blanks mark grid points where decoding failed at least once.
+    """
+    if not ramp:
+        raise ValueError("ramp must contain at least one character")
+    values = grid.mean_inefficiency
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        low, high = 1.0, 1.0
+    else:
+        low = float(finite.min()) if vmin is None else vmin
+        high = float(finite.max()) if vmax is None else vmax
+    span = max(high - low, 1e-12)
+
+    lines = []
+    header = "p\\q " + " ".join(f"{q * 100:>3.0f}" for q in grid.q_values)
+    lines.append(header)
+    for i, p in enumerate(grid.p_values):
+        cells = []
+        for j in range(grid.q_values.size):
+            value = values[i, j]
+            if not np.isfinite(value):
+                cells.append(" ")
+            else:
+                position = (value - low) / span
+                index = min(len(ramp) - 1, int(position * (len(ramp) - 1) + 0.5))
+                cells.append(ramp[index])
+        lines.append(f"{p * 100:>3.0f} " + "   ".join(cells))
+    if legend:
+        lines.append("")
+        lines.append(
+            f"legend: '{ramp[0]}' = {low:.3f} (best) ... '{ramp[-1]}' = {high:.3f} "
+            f"(worst); blank = decoding failed"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["ascii_surface", "DEFAULT_RAMP"]

@@ -1,0 +1,95 @@
+"""Render sweep results as text tables.
+
+``format_grid_table`` reproduces the layout of the paper's appendix tables:
+rows are ``p`` values, columns are ``q`` values, each cell holds the mean
+inefficiency ratio and a ``-`` marks grid points where at least one run
+failed to decode.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.metrics import GridResult
+
+
+def format_grid_table(
+    grid: GridResult,
+    *,
+    precision: int = 3,
+    percent_axes: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Format a :class:`GridResult` as an appendix-style table.
+
+    Parameters
+    ----------
+    grid:
+        The sweep to render.
+    precision:
+        Decimal places for the inefficiency values.
+    percent_axes:
+        Label the axes in percent (as the paper does) instead of [0, 1].
+    title:
+        Optional title line (defaults to the grid's label).
+    """
+    scale = 100.0 if percent_axes else 1.0
+    axis_format = "{:g}"
+    header_cells = [axis_format.format(q * scale) for q in grid.q_values]
+    cell_width = max(precision + 2, *(len(cell) for cell in header_cells)) + 2
+
+    lines: list[str] = []
+    lines.append(title if title is not None else grid.label)
+    lines.append(
+        "p \\ q".ljust(8) + "".join(cell.rjust(cell_width) for cell in header_cells)
+    )
+    for i, p in enumerate(grid.p_values):
+        row = [axis_format.format(p * scale).ljust(8)]
+        for j in range(grid.q_values.size):
+            value = grid.mean_inefficiency[i, j]
+            if not np.isfinite(value):
+                row.append("-".rjust(cell_width))
+            else:
+                row.append(f"{value:.{precision}f}".rjust(cell_width))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    values: Mapping[str, Mapping[str, float]],
+    *,
+    row_order: Optional[Sequence[str]] = None,
+    column_order: Optional[Sequence[str]] = None,
+    precision: int = 3,
+    missing: str = "-",
+) -> str:
+    """Format a nested mapping ``{row: {column: value}}`` as a text table.
+
+    Used for the figure 15 style comparisons (rows = transmission models,
+    columns = FEC codes).
+    """
+    rows = list(row_order) if row_order is not None else sorted(values)
+    columns: list[str] = list(column_order) if column_order is not None else sorted(
+        {column for row in values.values() for column in row}
+    )
+    cell_width = max(
+        [precision + 4] + [len(column) for column in columns]
+    ) + 2
+    label_width = max([len("")] + [len(row) for row in rows]) + 2
+
+    lines = ["".ljust(label_width) + "".join(column.rjust(cell_width) for column in columns)]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = values.get(row, {}).get(column)
+            if value is None or not np.isfinite(value):
+                cells.append(missing.rjust(cell_width))
+            else:
+                cells.append(f"{value:.{precision}f}".rjust(cell_width))
+        lines.append(row.ljust(label_width) + "".join(cells))
+    return "\n".join(lines)
+
+
+__all__ = ["format_grid_table", "format_comparison_table"]

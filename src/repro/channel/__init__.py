@@ -1,0 +1,37 @@
+"""Packet-loss channel models.
+
+The paper models the channel as a packet erasure channel driven by the
+two-state Gilbert (Markov) model of section 3.2; the Bernoulli (memoryless)
+and perfect channels are its special cases.  A trace-replay channel and a
+deterministic periodic-burst channel are provided for controlled tests.
+
+:mod:`repro.channel.limits` implements the analytic decodability limits of
+figure 6 (the (p, q) region in which no FEC code can possibly decode).
+"""
+
+from repro.channel.base import LossModel
+from repro.channel.bernoulli import BernoulliChannel, PerfectChannel
+from repro.channel.gilbert import GilbertChannel, PAPER_GRID_PERCENT, paper_grid
+from repro.channel.limits import (
+    decodable_region,
+    expected_received_fraction,
+    is_decodable,
+    minimum_q_for_decoding,
+)
+from repro.channel.periodic import PeriodicBurstChannel
+from repro.channel.trace import TraceChannel
+
+__all__ = [
+    "LossModel",
+    "GilbertChannel",
+    "BernoulliChannel",
+    "PerfectChannel",
+    "TraceChannel",
+    "PeriodicBurstChannel",
+    "PAPER_GRID_PERCENT",
+    "paper_grid",
+    "minimum_q_for_decoding",
+    "is_decodable",
+    "decodable_region",
+    "expected_received_fraction",
+]

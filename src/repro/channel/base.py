@@ -1,0 +1,49 @@
+"""Base class for packet-loss channel models."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class LossModel(abc.ABC):
+    """A packet erasure channel.
+
+    A loss model only decides, for a sequence of packet transmissions,
+    which packets are erased; content is never corrupted (erasure channel,
+    as in the paper).
+    """
+
+    @abc.abstractmethod
+    def loss_mask(self, count: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Return a boolean array of length ``count``; ``True`` marks a *lost* packet."""
+
+    def reception_mask(self, count: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Complement of :meth:`loss_mask`: ``True`` marks a received packet."""
+        return ~self.loss_mask(count, rng)
+
+    def transmit(self, indices: np.ndarray, rng: RandomState = None) -> np.ndarray:
+        """Filter a schedule of packet indices through the channel.
+
+        Returns the sub-sequence of ``indices`` that survives, preserving
+        the transmission order.
+        """
+        rng = ensure_rng(rng)
+        indices = np.asarray(indices)
+        mask = self.loss_mask(indices.size, rng)
+        return indices[~mask]
+
+    @property
+    @abc.abstractmethod
+    def global_loss_probability(self) -> float:
+        """Long-run fraction of packets lost."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(p_global={self.global_loss_probability:.4f})"
+
+
+__all__ = ["LossModel"]

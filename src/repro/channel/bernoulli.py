@@ -1,0 +1,59 @@
+"""Memoryless loss models: Bernoulli (IID) losses and the perfect channel.
+
+Both are special cases of the Gilbert model (``q = 1 - p`` and ``p = 0``
+respectively) but are provided as explicit classes because they are common
+baselines and cheaper to simulate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.base import LossModel
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import validate_probability
+
+
+class BernoulliChannel(LossModel):
+    """Independent, identically distributed packet losses."""
+
+    def __init__(self, loss_rate: float):
+        self.loss_rate = validate_probability(loss_rate, "loss_rate")
+
+    @property
+    def global_loss_probability(self) -> float:
+        return self.loss_rate
+
+    def loss_mask(self, count: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        rng = ensure_rng(rng)
+        if self.loss_rate == 0.0:
+            return np.zeros(count, dtype=bool)
+        if self.loss_rate == 1.0:
+            return np.ones(count, dtype=bool)
+        return rng.random(count) < self.loss_rate
+
+    def __repr__(self) -> str:
+        return f"BernoulliChannel(loss_rate={self.loss_rate})"
+
+
+class PerfectChannel(LossModel):
+    """A channel that never loses packets."""
+
+    @property
+    def global_loss_probability(self) -> float:
+        return 0.0
+
+    def loss_mask(self, count: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return np.zeros(count, dtype=bool)
+
+    def __repr__(self) -> str:
+        return "PerfectChannel()"
+
+
+__all__ = ["BernoulliChannel", "PerfectChannel"]

@@ -1,0 +1,126 @@
+"""Two-state Gilbert (Markov) packet-loss model.
+
+The model of section 3.2 of the paper: a *no-loss* state in which packets
+are delivered and a *loss* state in which packets are erased.  ``p`` is the
+probability of moving from no-loss to loss between two packets, ``q`` the
+probability of moving back.  The long-run ("global") loss probability is
+``p / (p + q)`` and the mean loss-burst length is ``1 / q``.
+
+Special cases (also noted in the paper):
+
+* ``p = 0`` -- perfect channel (no loss ever).
+* ``q = 1 - p`` -- independent, identically distributed (Bernoulli) losses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.base import LossModel
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import validate_probability
+
+#: The (p, q) grid used for every 3-D figure of the paper, in percent.
+PAPER_GRID_PERCENT: tuple[int, ...] = (0, 1, 5, 10, 15, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+
+def paper_grid() -> tuple[list[float], list[float]]:
+    """The 14 x 14 (p, q) grid of the paper, as probabilities in [0, 1]."""
+    values = [value / 100.0 for value in PAPER_GRID_PERCENT]
+    return list(values), list(values)
+
+
+class GilbertChannel(LossModel):
+    """Two-state Markov loss model.
+
+    Parameters
+    ----------
+    p:
+        Probability of transitioning from the no-loss state to the loss
+        state between two consecutive packets.
+    q:
+        Probability of transitioning from the loss state back to the
+        no-loss state.
+    """
+
+    def __init__(self, p: float, q: float):
+        self.p = validate_probability(p, "p")
+        self.q = validate_probability(q, "q")
+
+    @property
+    def global_loss_probability(self) -> float:
+        """Stationary probability of the loss state, ``p / (p + q)``."""
+        if self.p == 0.0:
+            return 0.0
+        if self.p + self.q == 0.0:
+            return 0.0
+        return self.p / (self.p + self.q)
+
+    @property
+    def stationary_distribution(self) -> tuple[float, float]:
+        """(P[no-loss], P[loss]) under the stationary regime."""
+        loss = self.global_loss_probability
+        return 1.0 - loss, loss
+
+    @property
+    def mean_burst_length(self) -> float:
+        """Expected length of a loss burst (``1 / q``; ``inf`` if q == 0)."""
+        if self.q == 0.0:
+            return float("inf")
+        return 1.0 / self.q
+
+    @property
+    def mean_gap_length(self) -> float:
+        """Expected length of a loss-free run (``1 / p``; ``inf`` if p == 0)."""
+        if self.p == 0.0:
+            return float("inf")
+        return 1.0 / self.p
+
+    @property
+    def is_memoryless(self) -> bool:
+        """True when the model degenerates to IID (Bernoulli) losses."""
+        return abs(self.q - (1.0 - self.p)) < 1e-12
+
+    def loss_mask(self, count: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Simulate ``count`` packet transmissions started in steady state."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        rng = ensure_rng(rng)
+        mask = np.empty(count, dtype=bool)
+        if count == 0:
+            return mask
+        if self.p == 0.0:
+            mask[:] = False
+            return mask
+        if self.q == 0.0:
+            # Stationary distribution puts all mass on the loss state.
+            mask[:] = True
+            return mask
+
+        # The chain is memoryless, so given the initial state (drawn from the
+        # stationary distribution) the residual sojourn times are geometric;
+        # the mask can therefore be generated run by run, which is orders of
+        # magnitude faster than a per-packet loop in Python.
+        in_loss_state = bool(rng.random() < self.global_loss_probability)
+        filled = 0
+        batch_size = 256
+        while filled < count:
+            gap_runs = rng.geometric(self.p, size=batch_size)
+            burst_runs = rng.geometric(self.q, size=batch_size)
+            for index in range(batch_size):
+                run = int(burst_runs[index] if in_loss_state else gap_runs[index])
+                run = min(run, count - filled)
+                mask[filled : filled + run] = in_loss_state
+                filled += run
+                in_loss_state = not in_loss_state
+                if filled >= count:
+                    break
+        return mask
+
+    def __repr__(self) -> str:
+        return f"GilbertChannel(p={self.p}, q={self.q})"
+
+
+__all__ = ["GilbertChannel", "PAPER_GRID_PERCENT", "paper_grid"]

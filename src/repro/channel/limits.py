@@ -1,0 +1,123 @@
+"""Analytic decodability limits in the (p, q) plane (figure 6 of the paper).
+
+A receiver gets on average ``n_sent * (1 - p_global)`` packets, with
+``p_global = p / (p + q)``.  Decoding requires at least ``inef_ratio * k``
+packets, so the boundary of the feasible region is
+
+    q = p * inef_ratio / (n_sent / k - inef_ratio)
+
+(the paper's equation, rearranged).  Points below that curve cannot be
+decoded by *any* FEC code; this is a property of the channel, not of a code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import validate_probability
+
+
+def expected_received_fraction(p: float, q: float, nsent_over_k: float) -> float:
+    """Expected number of received packets divided by ``k``.
+
+    This is the ``n_received / k`` curve plotted alongside the inefficiency
+    ratio in the paper's figures.
+    """
+    p = validate_probability(p, "p")
+    q = validate_probability(q, "q")
+    if nsent_over_k <= 0:
+        raise ValueError(f"nsent_over_k must be positive, got {nsent_over_k}")
+    if p == 0.0:
+        p_global = 0.0
+    elif p + q == 0.0:
+        p_global = 0.0
+    else:
+        p_global = p / (p + q)
+    return nsent_over_k * (1.0 - p_global)
+
+
+def minimum_q_for_decoding(
+    p: float,
+    expansion_ratio: float,
+    *,
+    inef_ratio: float = 1.0,
+    nsent_over_k: Optional[float] = None,
+) -> float:
+    """Smallest ``q`` for which decoding is possible on average at a given ``p``.
+
+    Parameters
+    ----------
+    p:
+        Gilbert parameter (no-loss -> loss transition probability).
+    expansion_ratio:
+        The code's ``n / k``.
+    inef_ratio:
+        Decoding inefficiency assumed for the bound (1.0 = ideal MDS code,
+        the lower bound used for figure 6).
+    nsent_over_k:
+        Number of packets actually sent divided by ``k``; defaults to the
+        expansion ratio (send everything).
+
+    Returns
+    -------
+    float
+        The limiting ``q`` value, clipped to [0, 1].  ``inf`` is returned if
+        no ``q`` can make decoding possible (e.g. sending fewer than
+        ``inef_ratio * k`` packets).
+    """
+    p = validate_probability(p, "p")
+    if inef_ratio < 1.0:
+        raise ValueError(f"inef_ratio must be >= 1, got {inef_ratio}")
+    if nsent_over_k is None:
+        nsent_over_k = float(expansion_ratio)
+    if nsent_over_k > float(expansion_ratio) + 1e-12:
+        raise ValueError("cannot send more packets than the code produces")
+    if nsent_over_k <= inef_ratio:
+        return 0.0 if p == 0.0 else float("inf")
+    if p == 0.0:
+        return 0.0
+    return min(1.0, p * inef_ratio / (nsent_over_k - inef_ratio))
+
+
+def is_decodable(
+    p: float,
+    q: float,
+    expansion_ratio: float,
+    *,
+    inef_ratio: float = 1.0,
+    nsent_over_k: Optional[float] = None,
+) -> bool:
+    """Whether the average number of received packets reaches ``inef_ratio * k``."""
+    q = validate_probability(q, "q")
+    limit = minimum_q_for_decoding(
+        p, expansion_ratio, inef_ratio=inef_ratio, nsent_over_k=nsent_over_k
+    )
+    return q >= limit
+
+
+def decodable_region(
+    p_values: Sequence[float],
+    q_values: Sequence[float],
+    expansion_ratio: float,
+    *,
+    inef_ratio: float = 1.0,
+    nsent_over_k: Optional[float] = None,
+) -> np.ndarray:
+    """Boolean matrix (len(p) x len(q)) of the decodable region of figure 6."""
+    result = np.zeros((len(p_values), len(q_values)), dtype=bool)
+    for i, p in enumerate(p_values):
+        for j, q in enumerate(q_values):
+            result[i, j] = is_decodable(
+                p, q, expansion_ratio, inef_ratio=inef_ratio, nsent_over_k=nsent_over_k
+            )
+    return result
+
+
+__all__ = [
+    "expected_received_fraction",
+    "minimum_q_for_decoding",
+    "is_decodable",
+    "decodable_region",
+]

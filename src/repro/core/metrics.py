@@ -1,0 +1,200 @@
+"""Result containers and the inefficiency-ratio metric.
+
+The paper's central metric is the *inefficiency ratio*
+
+    inef_ratio = n_necessary_for_decoding / k
+
+i.e. the number of packets a receiver has received at the moment decoding
+completes, divided by the number of source packets (1.0 is ideal).  The
+3-D figures additionally show ``n_received / k`` -- the total number of
+packets the receiver would get if it listened to the whole transmission --
+which upper-bounds the inefficiency ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of a single simulated transmission to one receiver.
+
+    Attributes
+    ----------
+    decoded:
+        Whether the receiver could rebuild the whole object.
+    n_necessary:
+        Number of packets received when decoding completed (``None`` when
+        decoding failed).
+    n_received:
+        Total number of packets the receiver got over the whole transmission.
+    n_sent:
+        Number of packets actually transmitted.
+    k, n:
+        Code dimensions for this run.
+    """
+
+    decoded: bool
+    n_necessary: Optional[int]
+    n_received: int
+    n_sent: int
+    k: int
+    n: int
+
+    @property
+    def inefficiency_ratio(self) -> float:
+        """``n_necessary / k`` (NaN when decoding failed)."""
+        if not self.decoded or self.n_necessary is None:
+            return float("nan")
+        return self.n_necessary / self.k
+
+    @property
+    def received_ratio(self) -> float:
+        """``n_received / k`` (the upper bound plotted in the paper)."""
+        return self.n_received / self.k
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of transmitted packets that were lost."""
+        if self.n_sent == 0:
+            return 0.0
+        return 1.0 - self.n_received / self.n_sent
+
+    @property
+    def excess_packets(self) -> Optional[int]:
+        """Packets received after decoding already completed."""
+        if not self.decoded or self.n_necessary is None:
+            return None
+        return self.n_received - self.n_necessary
+
+
+@dataclass
+class CellStats:
+    """Aggregate of the runs at a single (p, q) grid point."""
+
+    runs: int = 0
+    failures: int = 0
+    inefficiency_ratios: list[float] = field(default_factory=list)
+    received_ratios: list[float] = field(default_factory=list)
+
+    def add(self, result: RunResult) -> None:
+        self.runs += 1
+        self.received_ratios.append(result.received_ratio)
+        if result.decoded:
+            self.inefficiency_ratios.append(result.inefficiency_ratio)
+        else:
+            self.failures += 1
+
+    @property
+    def all_decoded(self) -> bool:
+        return self.failures == 0 and self.runs > 0
+
+    @property
+    def mean_inefficiency(self) -> float:
+        """Mean inefficiency ratio, NaN if *any* run failed (paper's rule)."""
+        if not self.all_decoded:
+            return float("nan")
+        return float(np.mean(self.inefficiency_ratios))
+
+    @property
+    def mean_inefficiency_of_successes(self) -> float:
+        """Mean over the successful runs only (useful for diagnostics)."""
+        if not self.inefficiency_ratios:
+            return float("nan")
+        return float(np.mean(self.inefficiency_ratios))
+
+    @property
+    def mean_received_ratio(self) -> float:
+        if not self.received_ratios:
+            return float("nan")
+        return float(np.mean(self.received_ratios))
+
+
+@dataclass
+class GridResult:
+    """Result of a full (p, q) grid sweep for one configuration.
+
+    The paper's plotting rule is followed: a grid point where at least one
+    of the runs failed to decode has ``NaN`` mean inefficiency (no point is
+    plotted / a "-" appears in the appendix tables).
+    """
+
+    p_values: np.ndarray
+    q_values: np.ndarray
+    mean_inefficiency: np.ndarray
+    mean_received_ratio: np.ndarray
+    failure_counts: np.ndarray
+    runs: int
+    label: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.p_values = np.asarray(self.p_values, dtype=float)
+        self.q_values = np.asarray(self.q_values, dtype=float)
+        expected = (self.p_values.size, self.q_values.size)
+        for name in ("mean_inefficiency", "mean_received_ratio", "failure_counts"):
+            array = np.asarray(getattr(self, name))
+            if array.shape != expected:
+                raise ValueError(
+                    f"{name} has shape {array.shape}, expected {expected}"
+                )
+            setattr(self, name, array)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.p_values.size, self.q_values.size)
+
+    @property
+    def decodable_mask(self) -> np.ndarray:
+        """Boolean matrix: True where every run decoded."""
+        return self.failure_counts == 0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of grid points where every run decoded."""
+        return float(np.count_nonzero(self.decodable_mask)) / self.decodable_mask.size
+
+    def value_at(self, p: float, q: float) -> float:
+        """Mean inefficiency at the grid point closest to (p, q)."""
+        i = int(np.argmin(np.abs(self.p_values - p)))
+        j = int(np.argmin(np.abs(self.q_values - q)))
+        return float(self.mean_inefficiency[i, j])
+
+    def min_inefficiency(self) -> float:
+        """Smallest mean inefficiency over the decodable region."""
+        values = self.mean_inefficiency[self.decodable_mask]
+        return float(values.min()) if values.size else float("nan")
+
+    def max_inefficiency(self) -> float:
+        """Largest mean inefficiency over the decodable region."""
+        values = self.mean_inefficiency[self.decodable_mask]
+        return float(values.max()) if values.size else float("nan")
+
+    def mean_over_decodable(self) -> float:
+        """Average mean inefficiency over the decodable region."""
+        values = self.mean_inefficiency[self.decodable_mask]
+        return float(values.mean()) if values.size else float("nan")
+
+
+@dataclass(frozen=True)
+class SeriesResult:
+    """A 1-D sweep (e.g. figure 14: inefficiency vs. received source packets)."""
+
+    parameter_name: str
+    parameter_values: np.ndarray
+    mean_inefficiency: np.ndarray
+    failure_counts: np.ndarray
+    runs: int
+    label: str = ""
+
+    def best_parameter(self) -> float:
+        """Parameter value with the smallest mean inefficiency."""
+        values = np.where(self.failure_counts == 0, self.mean_inefficiency, np.inf)
+        return float(self.parameter_values[int(np.argmin(values))])
+
+
+__all__ = ["RunResult", "CellStats", "GridResult", "SeriesResult"]

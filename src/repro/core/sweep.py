@@ -1,0 +1,185 @@
+"""Grid sweeps over the Gilbert (p, q) plane and generic 1-D parameter sweeps.
+
+``simulate_grid`` is the workhorse behind every 3-D figure and appendix
+table of the paper: for every (p, q) point it runs ``runs`` independent
+transmissions and aggregates them following the paper's rule (a point where
+any run failed to decode is reported as not decodable).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.gilbert import GilbertChannel, paper_grid
+from repro.core.config import SimulationConfig
+from repro.core.metrics import CellStats, GridResult, SeriesResult
+from repro.core.simulator import Simulator
+from repro.utils.rng import RandomState
+from repro.utils.validation import validate_positive_int
+
+ProgressCallback = Callable[[int, int], None]
+
+
+def simulate_grid(
+    config: SimulationConfig,
+    p_values: Optional[Sequence[float]] = None,
+    q_values: Optional[Sequence[float]] = None,
+    *,
+    runs: int = 10,
+    seed: RandomState = 0,
+    fresh_code_per_run: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> GridResult:
+    """Sweep the Gilbert (p, q) grid for one configuration.
+
+    Parameters
+    ----------
+    config:
+        The (code, tx model, k, ratio) configuration to evaluate.
+    p_values, q_values:
+        Grid axes (probabilities in [0, 1]); default to the paper's 14-value
+        grid.
+    runs:
+        Independent transmissions per grid point (the paper uses 100).
+    seed:
+        Top-level seed; every (p, q, run) triple gets its own derived stream
+        so results are reproducible and independent of iteration order.
+    fresh_code_per_run:
+        Rebuild the FEC code (i.e. draw a new LDGM parity-check matrix) for
+        every run instead of encoding once and reusing it.  Slower, closer
+        to averaging over code constructions.
+    progress:
+        Optional callback ``(done_points, total_points)``.
+    """
+    runs = validate_positive_int(runs, "runs")
+    if p_values is None or q_values is None:
+        default_p, default_q = paper_grid()
+        p_values = default_p if p_values is None else p_values
+        q_values = default_q if q_values is None else q_values
+    p_values = np.asarray(list(p_values), dtype=float)
+    q_values = np.asarray(list(q_values), dtype=float)
+
+    base_seed = _as_seed_int(seed)
+    tx_model = config.build_tx_model()
+    shared_code = None
+    if not fresh_code_per_run:
+        shared_code = config.build_code(seed=np.random.default_rng(base_seed))
+
+    shape = (p_values.size, q_values.size)
+    mean_inefficiency = np.full(shape, np.nan)
+    mean_received = np.full(shape, np.nan)
+    failure_counts = np.zeros(shape, dtype=np.int64)
+
+    total_points = p_values.size * q_values.size
+    done = 0
+    for i, p in enumerate(p_values):
+        for j, q in enumerate(q_values):
+            channel = GilbertChannel(float(p), float(q))
+            stats = CellStats()
+            for run in range(runs):
+                run_rng = np.random.default_rng(
+                    np.random.SeedSequence([base_seed, i, j, run])
+                )
+                if fresh_code_per_run:
+                    code = config.build_code(seed=run_rng)
+                else:
+                    code = shared_code
+                simulator = Simulator(code, tx_model, channel)
+                stats.add(simulator.run(run_rng, nsent=config.nsent))
+            mean_inefficiency[i, j] = stats.mean_inefficiency
+            mean_received[i, j] = stats.mean_received_ratio
+            failure_counts[i, j] = stats.failures
+            done += 1
+            if progress is not None:
+                progress(done, total_points)
+
+    return GridResult(
+        p_values=p_values,
+        q_values=q_values,
+        mean_inefficiency=mean_inefficiency,
+        mean_received_ratio=mean_received,
+        failure_counts=failure_counts,
+        runs=runs,
+        label=config.display_label,
+        metadata={
+            "code": config.code,
+            "tx_model": config.tx_model,
+            "k": config.k,
+            "expansion_ratio": config.expansion_ratio,
+            "nsent": config.nsent,
+            "seed": base_seed,
+        },
+    )
+
+
+def sweep_parameter(
+    make_config: Callable[[float], SimulationConfig],
+    parameter_values: Sequence[float],
+    *,
+    parameter_name: str = "parameter",
+    p: float = 0.0,
+    q: float = 1.0,
+    runs: int = 10,
+    seed: RandomState = 0,
+    label: str = "",
+) -> SeriesResult:
+    """Sweep an arbitrary scalar parameter at a fixed (p, q) point.
+
+    Used for figure 14 (inefficiency vs. number of received source packets)
+    and for the ablation benchmarks (e.g. left degree of the LDGM graph).
+
+    Parameters
+    ----------
+    make_config:
+        Callable mapping a parameter value to a :class:`SimulationConfig`.
+    parameter_values:
+        Values to sweep.
+    p, q:
+        Gilbert channel parameters shared by every point of the sweep.
+    """
+    runs = validate_positive_int(runs, "runs")
+    base_seed = _as_seed_int(seed)
+    values = np.asarray(list(parameter_values), dtype=float)
+    means = np.full(values.size, np.nan)
+    failures = np.zeros(values.size, dtype=np.int64)
+
+    for index, value in enumerate(values):
+        config = make_config(float(value))
+        channel = GilbertChannel(p, q)
+        tx_model = config.build_tx_model()
+        code = config.build_code(seed=np.random.default_rng(base_seed + index))
+        stats = CellStats()
+        for run in range(runs):
+            run_rng = np.random.default_rng(
+                np.random.SeedSequence([base_seed, index, run])
+            )
+            simulator = Simulator(code, tx_model, channel)
+            stats.add(simulator.run(run_rng, nsent=config.nsent))
+        means[index] = stats.mean_inefficiency
+        failures[index] = stats.failures
+
+    return SeriesResult(
+        parameter_name=parameter_name,
+        parameter_values=values,
+        mean_inefficiency=means,
+        failure_counts=failures,
+        runs=runs,
+        label=label,
+    )
+
+
+def _as_seed_int(seed: RandomState) -> int:
+    if seed is None:
+        return 0
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if isinstance(seed, np.random.SeedSequence):
+        return int(seed.generate_state(1, dtype=np.uint64)[0])
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**31 - 1))
+    raise TypeError(f"unsupported seed type {type(seed).__name__}")
+
+
+__all__ = ["simulate_grid", "sweep_parameter"]

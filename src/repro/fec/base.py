@@ -1,0 +1,199 @@
+"""Abstract interfaces shared by all FEC codes.
+
+Two decoding interfaces exist:
+
+* :class:`ObjectDecoder` works on real payloads and recovers the object
+  content.  It is used by the FLUTE substrate and by the payload round-trip
+  tests.
+* :class:`SymbolicDecoder` only tracks *which* packets have been received
+  and reports when decoding would complete.  It is what the simulator uses:
+  the inefficiency-ratio metric of the paper depends only on packet indices
+  and ordering, so skipping the payload XORs/field math makes the (p, q)
+  grid sweeps orders of magnitude faster without changing any result.
+
+Both interfaces are incremental ("add one packet, check completion") because
+the paper's metric is the number of packets received *at the moment decoding
+completes*.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.fec.packet import PacketLayout
+from repro.utils.rng import RandomState
+
+
+class DecoderState(enum.Enum):
+    """Lifecycle of an incremental decoder."""
+
+    DECODING = "decoding"
+    COMPLETE = "complete"
+
+
+class SymbolicDecoder(abc.ABC):
+    """Index-only incremental decoder.
+
+    Implementations must be cheap to construct (one per simulated
+    transmission) and must tolerate duplicate packet indices.
+    """
+
+    @abc.abstractmethod
+    def add_packet(self, index: int) -> bool:
+        """Register the reception of packet ``index``.
+
+        Returns ``True`` if the object is fully decodable after this packet
+        (idempotent: keeps returning ``True`` afterwards).
+        """
+
+    @property
+    @abc.abstractmethod
+    def is_complete(self) -> bool:
+        """True once all ``k`` source packets are recovered/recoverable."""
+
+    @property
+    @abc.abstractmethod
+    def decoded_source_count(self) -> int:
+        """Number of source packets currently recovered or recoverable."""
+
+    @property
+    def state(self) -> DecoderState:
+        return DecoderState.COMPLETE if self.is_complete else DecoderState.DECODING
+
+    def add_packets(self, indices: Iterable[int]) -> int:
+        """Feed packets until decoding completes.
+
+        Returns the number of packets consumed from ``indices`` when decoding
+        completed, or the total number of packets fed if it never completed.
+        """
+        consumed = 0
+        for index in indices:
+            consumed += 1
+            if self.add_packet(index):
+                return consumed
+        return consumed
+
+
+class ObjectEncoder(abc.ABC):
+    """Encode the ``k`` source payloads of an object into ``n`` payloads."""
+
+    @abc.abstractmethod
+    def encode(self, source_payloads: Sequence[bytes]) -> list[bytes]:
+        """Return the ``n`` encoding payloads (source payloads come first)."""
+
+
+class ObjectDecoder(abc.ABC):
+    """Incremental decoder operating on real payloads."""
+
+    @abc.abstractmethod
+    def add_packet(self, index: int, payload: bytes) -> bool:
+        """Register packet ``index`` with its payload; return completion."""
+
+    @property
+    @abc.abstractmethod
+    def is_complete(self) -> bool:
+        """True once all source payloads are recovered."""
+
+    @abc.abstractmethod
+    def source_payloads(self) -> list[bytes]:
+        """Return the ``k`` recovered source payloads (requires completion)."""
+
+
+class FECCode(abc.ABC):
+    """A FEC code instantiated for one object of ``k`` source packets."""
+
+    #: Registry name of the code (e.g. ``"rse"``, ``"ldgm-staircase"``).
+    name: str = "abstract"
+
+    def __init__(self, k: int, n: int):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if n <= k:
+            raise ValueError(f"n must be > k, got k={k}, n={n}")
+        self._k = int(k)
+        self._n = int(n)
+
+    @property
+    def k(self) -> int:
+        """Number of source packets."""
+        return self._k
+
+    @property
+    def n(self) -> int:
+        """Total number of encoding packets."""
+        return self._n
+
+    @property
+    def expansion_ratio(self) -> float:
+        """FEC expansion ratio n / k (inverse of the code rate)."""
+        return self._n / self._k
+
+    @property
+    def code_rate(self) -> float:
+        """Code rate k / n."""
+        return self._k / self._n
+
+    @property
+    def is_mds(self) -> bool:
+        """Whether the code is Maximum Distance Separable (per block)."""
+        return False
+
+    @property
+    @abc.abstractmethod
+    def layout(self) -> PacketLayout:
+        """Packet layout (global indices of source/parity packets, blocks)."""
+
+    @abc.abstractmethod
+    def new_symbolic_decoder(self) -> SymbolicDecoder:
+        """Create a fresh symbolic (index-only) decoder."""
+
+    @abc.abstractmethod
+    def new_encoder(self) -> ObjectEncoder:
+        """Create a payload encoder."""
+
+    @abc.abstractmethod
+    def new_decoder(self) -> ObjectDecoder:
+        """Create a fresh payload decoder."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(k={self.k}, n={self.n})"
+
+
+def check_payloads(payloads: Sequence[bytes], expected_count: int) -> tuple[int, np.ndarray]:
+    """Validate a sequence of equal-length payloads and return (length, matrix).
+
+    The returned matrix has one row per payload (dtype uint8), which is the
+    representation used by the payload codecs.
+    """
+    if len(payloads) != expected_count:
+        raise ValueError(
+            f"expected {expected_count} source payloads, got {len(payloads)}"
+        )
+    if expected_count == 0:
+        raise ValueError("at least one payload is required")
+    length = len(payloads[0])
+    if length == 0:
+        raise ValueError("payloads must be non-empty")
+    matrix = np.zeros((expected_count, length), dtype=np.uint8)
+    for row, payload in enumerate(payloads):
+        if len(payload) != length:
+            raise ValueError(
+                f"all payloads must have the same length; payload {row} has "
+                f"{len(payload)} bytes, expected {length}"
+            )
+        matrix[row] = np.frombuffer(bytes(payload), dtype=np.uint8)
+    return length, matrix
+
+
+__all__ = [
+    "DecoderState",
+    "SymbolicDecoder",
+    "ObjectEncoder",
+    "ObjectDecoder",
+    "FECCode",
+    "check_payloads",
+]

@@ -1,0 +1,108 @@
+"""Payload-level iterative (peeling) decoder for LDGM codes.
+
+Identical algorithm to :class:`repro.fec.ldgm.symbolic.LDGMSymbolicDecoder`
+but additionally maintains, for every check row, the XOR of the payloads of
+its already-known message nodes; when a row reaches a single unknown node,
+that accumulator is the recovered payload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fec.base import ObjectDecoder
+from repro.fec.ldgm.matrix import ParityCheckMatrix
+
+
+class LDGMPayloadDecoder(ObjectDecoder):
+    """Incremental peeling decoder recovering actual packet payloads."""
+
+    def __init__(self, matrix: ParityCheckMatrix):
+        self._matrix = matrix
+        self._k = matrix.k
+        self._n = matrix.n
+        num_checks = matrix.num_checks
+
+        self._unknowns = np.empty(num_checks, dtype=np.int64)
+        self._xor_unknown = np.zeros(num_checks, dtype=np.int64)
+        for row in range(num_checks):
+            cols = matrix.row_columns(row)
+            self._unknowns[row] = cols.size
+            accumulator = 0
+            for col in cols:
+                accumulator ^= int(col)
+            self._xor_unknown[row] = accumulator
+
+        indptr, rows = matrix.column_adjacency()
+        self._adj_indptr = indptr
+        self._adj_rows = rows
+
+        self._payload_len: Optional[int] = None
+        self._row_sum: Optional[np.ndarray] = None  # lazily sized
+        self._known = np.zeros(self._n, dtype=bool)
+        self._payloads: list[Optional[np.ndarray]] = [None] * self._n
+        self._decoded_sources = 0
+
+    def add_packet(self, index: int, payload: bytes) -> bool:
+        if not 0 <= index < self._n:
+            raise IndexError(f"packet index {index} out of range [0, {self._n})")
+        if self.is_complete or self._known[index]:
+            return self.is_complete
+        data = np.frombuffer(bytes(payload), dtype=np.uint8)
+        if self._payload_len is None:
+            self._payload_len = data.size
+            self._row_sum = np.zeros((self._matrix.num_checks, data.size), dtype=np.uint8)
+        elif data.size != self._payload_len:
+            raise ValueError(
+                f"payload length {data.size} does not match previous packets "
+                f"({self._payload_len})"
+            )
+        self._propagate(index, data.copy())
+        return self.is_complete
+
+    def _propagate(self, start: int, start_payload: np.ndarray) -> None:
+        known = self._known
+        unknowns = self._unknowns
+        xor_unknown = self._xor_unknown
+        row_sum = self._row_sum
+        indptr = self._adj_indptr
+        adj_rows = self._adj_rows
+
+        stack: list[tuple[int, np.ndarray]] = [(start, start_payload)]
+        while stack:
+            node, payload = stack.pop()
+            if known[node]:
+                continue
+            known[node] = True
+            self._payloads[node] = payload
+            if node < self._k:
+                self._decoded_sources += 1
+            for position in range(indptr[node], indptr[node + 1]):
+                row = adj_rows[position]
+                unknowns[row] -= 1
+                xor_unknown[row] ^= node
+                row_sum[row] ^= payload
+                if unknowns[row] == 1:
+                    candidate = int(xor_unknown[row])
+                    if not known[candidate]:
+                        # The check equation sums to zero, so the missing
+                        # payload equals the XOR of the known ones.
+                        stack.append((candidate, row_sum[row].copy()))
+
+    @property
+    def is_complete(self) -> bool:
+        return self._decoded_sources >= self._k
+
+    @property
+    def decoded_source_count(self) -> int:
+        return self._decoded_sources
+
+    def source_payloads(self) -> list[bytes]:
+        if not self.is_complete:
+            raise RuntimeError("decoding is not complete yet")
+        return [self._payloads[i].tobytes() for i in range(self._k)]
+
+
+__all__ = ["LDGMPayloadDecoder"]

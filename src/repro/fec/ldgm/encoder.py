@@ -1,0 +1,53 @@
+"""XOR encoder for the LDGM code family.
+
+Each check equation states that the XOR of all message nodes it touches is
+zero, so parity packet ``i`` equals the XOR of the source packets of check
+row ``i`` plus any previously computed parity packets referenced by the same
+row (the staircase and triangle entries).  Because every extra parity column
+of a row has a smaller index than the row's own diagonal entry, the parity
+packets can be computed in one sequential pass.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.fec.base import ObjectEncoder, check_payloads
+from repro.fec.ldgm.matrix import ParityCheckMatrix
+
+
+class LDGMEncoder(ObjectEncoder):
+    """Encode an object of ``k`` payloads into ``n`` payloads by XOR cascades."""
+
+    def __init__(self, matrix: ParityCheckMatrix):
+        self._matrix = matrix
+
+    def encode(self, source_payloads: Sequence[bytes]) -> list[bytes]:
+        matrix = self._matrix
+        payload_len, source_matrix = check_payloads(source_payloads, matrix.k)
+        parity_matrix = np.zeros((matrix.num_checks, payload_len), dtype=np.uint8)
+        for row in range(matrix.num_checks):
+            accumulator = np.zeros(payload_len, dtype=np.uint8)
+            source_cols = matrix.source_cols[row]
+            if source_cols.size:
+                accumulator ^= np.bitwise_xor.reduce(source_matrix[source_cols], axis=0)
+            for col in matrix.parity_cols[row]:
+                parity_index = int(col) - matrix.k
+                if parity_index == row:
+                    continue  # the packet we are computing
+                accumulator ^= parity_matrix[parity_index]
+            parity_matrix[row] = accumulator
+        payloads = [source_matrix[i].tobytes() for i in range(matrix.k)]
+        payloads.extend(parity_matrix[i].tobytes() for i in range(matrix.num_checks))
+        return payloads
+
+    def encode_arrays(self, source_matrix: np.ndarray) -> np.ndarray:
+        """Array-in/array-out variant used by tests: rows are payloads."""
+        payloads = [source_matrix[i].tobytes() for i in range(source_matrix.shape[0])]
+        encoded = self.encode(payloads)
+        return np.vstack([np.frombuffer(p, dtype=np.uint8) for p in encoded])
+
+
+__all__ = ["LDGMEncoder"]

@@ -1,0 +1,285 @@
+"""Sparse parity-check matrices for the LDGM code family.
+
+The matrix ``H`` has ``n - k`` rows (one per check node / parity packet) and
+``n`` columns (one per message node: ``k`` source packets followed by
+``n - k`` parity packets).  It is stored sparsely as, for every check row,
+the array of source columns and the array of parity columns it touches,
+plus a CSR-style column-to-row adjacency used by the decoders.
+
+Construction rules
+------------------
+
+* **Left part H1** -- every source column receives exactly ``left_degree``
+  (default 3, the value used in the paper) distinct check rows.  Rows are
+  drawn from a balanced pool so check-node degrees stay as even as possible,
+  mirroring the "evenboth" construction of the reference LDPC codec.
+* **Right part H2**:
+
+  - ``LDGM``: identity -- check ``i`` involves parity packet ``i`` only.
+  - ``LDGM Staircase``: dual diagonal -- check ``i`` involves parity packets
+    ``i`` and ``i - 1``.
+  - ``LDGM Triangle``: the staircase plus extra entries below the diagonal.
+    The reference codec fills the triangle "progressively"; here every check
+    row ``i >= 2`` additionally involves one parity packet drawn uniformly
+    from the columns strictly below the staircase (``[0, i - 2]``).  This
+    keeps check rows sparse (which the iterative decoder needs), keeps
+    encoding a short XOR cascade, and reproduces the paper's qualitative
+    behaviour (Triangle at least as good as Staircase except when only a
+    small share of the packets is received).  The approximation is recorded
+    in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import validate_k_n, validate_positive_int
+
+#: Left (source-node) degree used throughout the paper.
+DEFAULT_LEFT_DEGREE = 3
+
+
+class LDGMVariant(enum.Enum):
+    """The three LDGM parity structures compared in the paper."""
+
+    LDGM = "ldgm"
+    STAIRCASE = "staircase"
+    TRIANGLE = "triangle"
+
+
+@dataclass
+class ParityCheckMatrix:
+    """Sparse representation of ``H = [H1 | H2]``.
+
+    Attributes
+    ----------
+    k, n:
+        Code dimensions; there are ``n - k`` check rows.
+    variant:
+        Which parity structure the matrix follows.
+    source_cols:
+        ``source_cols[i]`` is the array of source columns (``< k``) of row i.
+    parity_cols:
+        ``parity_cols[i]`` is the array of *global* parity columns
+        (``>= k``) of row i; it always contains ``k + i``.
+    """
+
+    k: int
+    n: int
+    variant: LDGMVariant
+    source_cols: list[np.ndarray]
+    parity_cols: list[np.ndarray]
+
+    @property
+    def num_checks(self) -> int:
+        return self.n - self.k
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of "1"s in the matrix."""
+        return sum(row.size for row in self.source_cols) + sum(
+            row.size for row in self.parity_cols
+        )
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero entries."""
+        return self.num_edges / (self.num_checks * self.n)
+
+    def row_columns(self, row: int) -> np.ndarray:
+        """All (global) columns of check row ``row``."""
+        return np.concatenate([self.source_cols[row], self.parity_cols[row]])
+
+    def column_degrees(self) -> np.ndarray:
+        """Degree of every message node (column), length ``n``."""
+        degrees = np.zeros(self.n, dtype=np.int64)
+        for row in range(self.num_checks):
+            degrees[self.source_cols[row]] += 1
+            degrees[self.parity_cols[row]] += 1
+        return degrees
+
+    def column_adjacency(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR-style (indptr, rows) adjacency from columns to check rows.
+
+        ``rows[indptr[v]:indptr[v + 1]]`` lists the check rows that involve
+        message node ``v``.  Cached after the first call.
+        """
+        cached = getattr(self, "_adjacency_cache", None)
+        if cached is not None:
+            return cached
+        degrees = self.column_degrees()
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        rows = np.empty(int(indptr[-1]), dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        for row in range(self.num_checks):
+            for col in self.source_cols[row]:
+                rows[cursor[col]] = row
+                cursor[col] += 1
+            for col in self.parity_cols[row]:
+                rows[cursor[col]] = row
+                cursor[col] += 1
+        self._adjacency_cache = (indptr, rows)
+        return self._adjacency_cache
+
+    def to_dense(self) -> np.ndarray:
+        """Dense 0/1 matrix, for tests and small examples only."""
+        dense = np.zeros((self.num_checks, self.n), dtype=np.uint8)
+        for row in range(self.num_checks):
+            dense[row, self.source_cols[row]] = 1
+            dense[row, self.parity_cols[row]] = 1
+        return dense
+
+
+def build_parity_check_matrix(
+    k: int,
+    n: int,
+    variant: LDGMVariant | str = LDGMVariant.STAIRCASE,
+    *,
+    left_degree: int = DEFAULT_LEFT_DEGREE,
+    seed: RandomState = None,
+) -> ParityCheckMatrix:
+    """Build the parity-check matrix of an LDGM-family code.
+
+    Parameters
+    ----------
+    k, n:
+        Source / total packet counts; ``n - k`` check rows are created.
+    variant:
+        ``LDGMVariant`` or its string value.
+    left_degree:
+        Number of check equations each source packet participates in
+        (3 in the paper).  Capped at ``n - k``.
+    seed:
+        Seed or generator controlling the random H1 construction.
+    """
+    k, n = validate_k_n(k, n)
+    if isinstance(variant, str):
+        variant = LDGMVariant(variant.lower())
+    left_degree = validate_positive_int(left_degree, "left_degree")
+    num_checks = n - k
+    effective_degree = min(left_degree, num_checks)
+    rng = ensure_rng(seed)
+
+    source_cols = _build_left_part(k, num_checks, effective_degree, rng)
+    parity_cols = _build_right_part(k, num_checks, variant, rng)
+    return ParityCheckMatrix(
+        k=k, n=n, variant=variant, source_cols=source_cols, parity_cols=parity_cols
+    )
+
+
+def _build_left_part(
+    k: int, num_checks: int, left_degree: int, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Assign ``left_degree`` distinct check rows to every source column.
+
+    A balanced pool (every check row repeated ``ceil(left_degree * k /
+    num_checks)`` times) is shuffled and consumed column by column so check
+    degrees stay within one of each other; duplicates within a column are
+    re-drawn.
+    """
+    edges_needed = left_degree * k
+    repeats = -(-edges_needed // num_checks)  # ceil division
+    pool = np.tile(np.arange(num_checks, dtype=np.int64), repeats)[:edges_needed]
+    rng.shuffle(pool)
+    assignment = pool.reshape(k, left_degree)
+
+    columns: list[np.ndarray] = []
+    for col in range(k):
+        rows = assignment[col].copy()
+        rows = _deduplicate_rows(rows, num_checks, rng)
+        rows.sort()
+        columns.append(rows)
+
+    per_row: list[list[int]] = [[] for _ in range(num_checks)]
+    for col, rows in enumerate(columns):
+        for row in rows:
+            per_row[int(row)].append(col)
+
+    _fill_empty_rows(per_row, columns, rng)
+
+    source_cols = [np.array(sorted(cols), dtype=np.int64) for cols in per_row]
+    return source_cols
+
+
+def _deduplicate_rows(
+    rows: np.ndarray, num_checks: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Replace duplicate check rows within one column by fresh random rows."""
+    if np.unique(rows).size == rows.size:
+        return rows
+    seen: set[int] = set()
+    for i in range(rows.size):
+        value = int(rows[i])
+        attempts = 0
+        while value in seen:
+            value = int(rng.integers(num_checks))
+            attempts += 1
+            if attempts > 10 * num_checks:
+                raise RuntimeError("unable to build a duplicate-free column")
+        rows[i] = value
+        seen.add(value)
+    return rows
+
+
+def _fill_empty_rows(
+    per_row: list[list[int]], columns: list[np.ndarray], rng: np.random.Generator
+) -> None:
+    """Guarantee every check row touches at least one source packet.
+
+    A check row with no source edge would create a parity packet carrying no
+    information (for plain LDGM) and makes the graph needlessly weak; the
+    reference codec avoids this too.  Edges are stolen from the rows with
+    the highest degree.
+    """
+    empty_rows = [row for row, cols in enumerate(per_row) if not cols]
+    if not empty_rows:
+        return
+    for empty_row in empty_rows:
+        donor_row = max(range(len(per_row)), key=lambda r: len(per_row[r]))
+        if len(per_row[donor_row]) <= 1:
+            # Not enough edges to share; leave the row empty (harmless but
+            # weaker).  This only happens for degenerate tiny codes.
+            continue
+        moved_col = per_row[donor_row].pop(int(rng.integers(len(per_row[donor_row]))))
+        per_row[empty_row].append(moved_col)
+
+
+def _build_right_part(
+    k: int, num_checks: int, variant: LDGMVariant, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Build H2 according to the variant (identity, staircase, triangle)."""
+    parity_cols: list[np.ndarray] = []
+    for row in range(num_checks):
+        cols = {k + row}
+        if variant in (LDGMVariant.STAIRCASE, LDGMVariant.TRIANGLE) and row > 0:
+            cols.add(k + row - 1)
+        if variant is LDGMVariant.TRIANGLE and row >= 2:
+            cols.add(k + _triangle_extra_column(row, rng))
+        parity_cols.append(np.array(sorted(cols), dtype=np.int64))
+    return parity_cols
+
+
+def _triangle_extra_column(row: int, rng: np.random.Generator) -> int:
+    """Parity column filled below the staircase for LDGM Triangle.
+
+    Check ``row`` additionally involves one parity packet drawn uniformly
+    from the columns strictly below the staircase (``[0, row - 2]``),
+    creating the "progressive dependency between check nodes" described in
+    the paper while keeping every check row sparse enough for the iterative
+    decoder.
+    """
+    return int(rng.integers(0, row - 1))
+
+
+__all__ = [
+    "LDGMVariant",
+    "ParityCheckMatrix",
+    "build_parity_check_matrix",
+    "DEFAULT_LEFT_DEGREE",
+]

@@ -1,0 +1,200 @@
+"""Packet and packet-layout abstractions.
+
+Packets are identified throughout the library by a *global index* in
+``[0, n)``.  By convention the ``k`` source packets occupy indices
+``[0, k)`` in object order, and the ``n - k`` parity packets occupy
+``[k, n)``.  For block codes (RSE) the layout additionally records which
+global indices belong to which source block.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class PacketKind(enum.Enum):
+    """Whether a packet carries original data or FEC redundancy."""
+
+    SOURCE = "source"
+    PARITY = "parity"
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single encoding packet.
+
+    Attributes
+    ----------
+    index:
+        Global packet index in ``[0, n)``.
+    kind:
+        Source or parity.
+    block_id:
+        Source block the packet belongs to (0 for single-block codes).
+    index_in_block:
+        Encoding-symbol index within the block (ESI).
+    payload:
+        Optional payload bytes; ``None`` for symbolic simulation.
+    """
+
+    index: int
+    kind: PacketKind
+    block_id: int = 0
+    index_in_block: int = 0
+    payload: Optional[bytes] = None
+
+    @property
+    def is_source(self) -> bool:
+        return self.kind is PacketKind.SOURCE
+
+    @property
+    def is_parity(self) -> bool:
+        return self.kind is PacketKind.PARITY
+
+
+@dataclass(frozen=True)
+class BlockLayout:
+    """Global packet indices of one source block."""
+
+    block_id: int
+    source_indices: np.ndarray
+    parity_indices: np.ndarray
+
+    @property
+    def k(self) -> int:
+        """Number of source packets in the block."""
+        return int(self.source_indices.size)
+
+    @property
+    def n(self) -> int:
+        """Total number of encoding packets in the block."""
+        return int(self.source_indices.size + self.parity_indices.size)
+
+    @property
+    def all_indices(self) -> np.ndarray:
+        """Source then parity indices of the block."""
+        return np.concatenate([self.source_indices, self.parity_indices])
+
+
+@dataclass(frozen=True)
+class PacketLayout:
+    """Description of the packets produced by a FEC code for one object.
+
+    The layout is what transmission models operate on: they only need to
+    know which global indices are source packets, which are parity packets
+    and (for interleaving) how packets group into blocks.
+    """
+
+    k: int
+    n: int
+    blocks: tuple[BlockLayout, ...]
+
+    def __post_init__(self) -> None:
+        if self.k <= 0 or self.n <= self.k:
+            raise ValueError(f"invalid layout dimensions k={self.k}, n={self.n}")
+        total = sum(block.n for block in self.blocks)
+        if total != self.n:
+            raise ValueError(
+                f"blocks cover {total} packets but layout declares n={self.n}"
+            )
+        total_sources = sum(block.k for block in self.blocks)
+        if total_sources != self.k:
+            raise ValueError(
+                f"blocks cover {total_sources} source packets but layout declares k={self.k}"
+            )
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def source_indices(self) -> np.ndarray:
+        """All source packet indices, in object order."""
+        return np.concatenate([block.source_indices for block in self.blocks])
+
+    @property
+    def parity_indices(self) -> np.ndarray:
+        """All parity packet indices, block by block."""
+        return np.concatenate([block.parity_indices for block in self.blocks])
+
+    @property
+    def expansion_ratio(self) -> float:
+        """The FEC expansion ratio n / k."""
+        return self.n / self.k
+
+    def is_source(self, index: int) -> bool:
+        """True if the global index designates a source packet."""
+        return 0 <= index < self.k
+
+    def kind_of(self, index: int) -> PacketKind:
+        if not 0 <= index < self.n:
+            raise IndexError(f"packet index {index} out of range [0, {self.n})")
+        return PacketKind.SOURCE if index < self.k else PacketKind.PARITY
+
+    def block_of(self, index: int) -> int:
+        """Return the block id that the global packet index belongs to."""
+        if not 0 <= index < self.n:
+            raise IndexError(f"packet index {index} out of range [0, {self.n})")
+        for block in self.blocks:
+            if index in block.source_indices or index in block.parity_indices:
+                return block.block_id
+        raise IndexError(f"packet index {index} not covered by any block")
+
+
+def single_block_layout(k: int, n: int) -> PacketLayout:
+    """Layout for large-block codes (LDGM-*): one block covering everything."""
+    block = BlockLayout(
+        block_id=0,
+        source_indices=np.arange(k, dtype=np.int64),
+        parity_indices=np.arange(k, n, dtype=np.int64),
+    )
+    return PacketLayout(k=k, n=n, blocks=(block,))
+
+
+def multi_block_layout(block_ks: Sequence[int], block_ns: Sequence[int]) -> PacketLayout:
+    """Layout for block codes (RSE).
+
+    Source packets of all blocks come first (in object order), then parity
+    packets, grouped by block.
+
+    Parameters
+    ----------
+    block_ks:
+        Number of source packets in each block.
+    block_ns:
+        Total number of encoding packets in each block.
+    """
+    if len(block_ks) != len(block_ns):
+        raise ValueError("block_ks and block_ns must have the same length")
+    if not block_ks:
+        raise ValueError("at least one block is required")
+    k_total = int(sum(block_ks))
+    n_total = int(sum(block_ns))
+    blocks: list[BlockLayout] = []
+    source_cursor = 0
+    parity_cursor = k_total
+    for block_id, (block_k, block_n) in enumerate(zip(block_ks, block_ns)):
+        if block_n <= block_k or block_k <= 0:
+            raise ValueError(
+                f"block {block_id} has invalid dimensions k={block_k}, n={block_n}"
+            )
+        source = np.arange(source_cursor, source_cursor + block_k, dtype=np.int64)
+        parity = np.arange(parity_cursor, parity_cursor + (block_n - block_k), dtype=np.int64)
+        blocks.append(BlockLayout(block_id=block_id, source_indices=source, parity_indices=parity))
+        source_cursor += block_k
+        parity_cursor += block_n - block_k
+    return PacketLayout(k=k_total, n=n_total, blocks=tuple(blocks))
+
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "BlockLayout",
+    "PacketLayout",
+    "single_block_layout",
+    "multi_block_layout",
+]

@@ -1,0 +1,18 @@
+"""Reed-Solomon erasure code (RSE) over GF(2^8).
+
+The paper's RSE code (section 2.2) follows Rizzo's codec [14]: a systematic
+MDS code per block, limited to at most 256 encoding packets per block by the
+field size.  Objects larger than one block are segmented, which causes the
+"coupon collector" inefficiency analysed by the paper.
+"""
+
+from repro.fec.rse.blocks import BlockPartition, partition_object
+from repro.fec.rse.codec import ReedSolomonBlockCodec
+from repro.fec.rse.object_codec import ReedSolomonCode
+
+__all__ = [
+    "ReedSolomonBlockCodec",
+    "ReedSolomonCode",
+    "BlockPartition",
+    "partition_object",
+]

@@ -1,0 +1,135 @@
+"""Object segmentation into Reed-Solomon blocks.
+
+Because the RSE code operates over GF(2^8), a block holds at most
+``max_block_size`` (default 256) encoding packets.  An object of ``k`` source
+packets with an expansion ratio ``n / k`` therefore has to be split into
+``B`` blocks, each encoded independently.  The partitioning follows the
+spirit of RFC 5052's blocking algorithm: block sizes differ by at most one
+source packet so the parity protection is as even as possible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import validate_positive_int
+
+#: Largest number of encoding packets per block permitted by GF(2^8).
+MAX_BLOCK_SIZE_GF256 = 256
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """Result of segmenting an object into RSE blocks.
+
+    Attributes
+    ----------
+    block_ks:
+        Number of source packets per block.
+    block_ns:
+        Number of encoding packets per block.
+    """
+
+    block_ks: tuple[int, ...]
+    block_ns: tuple[int, ...]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_ks)
+
+    @property
+    def k(self) -> int:
+        return sum(self.block_ks)
+
+    @property
+    def n(self) -> int:
+        return sum(self.block_ns)
+
+    @property
+    def max_block_n(self) -> int:
+        return max(self.block_ns)
+
+
+def partition_object(k: int, n: int, max_block_size: int = MAX_BLOCK_SIZE_GF256) -> BlockPartition:
+    """Split an object of ``k`` source packets (``n`` total) into RSE blocks.
+
+    Every block receives either ``ceil(k / B)`` or ``floor(k / B)`` source
+    packets, and parity packets are distributed so the per-block expansion
+    ratio matches the global one as closely as possible while the totals are
+    preserved exactly.
+
+    Parameters
+    ----------
+    k, n:
+        Global source/encoding packet counts (``n > k``).
+    max_block_size:
+        Maximum number of encoding packets per block (256 for GF(2^8)).
+    """
+    k = validate_positive_int(k, "k")
+    n = validate_positive_int(n, "n")
+    if n <= k:
+        raise ValueError(f"n must be > k, got k={k}, n={n}")
+    max_block_size = validate_positive_int(max_block_size, "max_block_size", minimum=2)
+    if max_block_size > MAX_BLOCK_SIZE_GF256:
+        raise ValueError(
+            f"max_block_size cannot exceed {MAX_BLOCK_SIZE_GF256} over GF(2^8), "
+            f"got {max_block_size}"
+        )
+
+    ratio = n / k
+    max_k_per_block = max(1, math.floor(max_block_size / ratio))
+    num_blocks = math.ceil(k / max_k_per_block)
+
+    # Distribute source packets as evenly as possible.
+    base_k, extra = divmod(k, num_blocks)
+    block_ks = [base_k + 1 if block < extra else base_k for block in range(num_blocks)]
+
+    # Distribute parity packets proportionally to block size, fixing rounding
+    # on the largest blocks so the total is exactly n - k.
+    parity_total = n - k
+    raw = [block_k * parity_total / k for block_k in block_ks]
+    block_parities = [math.floor(value) for value in raw]
+    shortfall = parity_total - sum(block_parities)
+    # Give the leftover parities to the blocks with the largest fractional part.
+    order = sorted(range(num_blocks), key=lambda i: raw[i] - block_parities[i], reverse=True)
+    for i in range(shortfall):
+        block_parities[order[i % num_blocks]] += 1
+
+    # Rounding may push a full-size block one parity packet over the limit;
+    # rebalance by moving parities to the emptiest blocks that have room.
+    for _ in range(num_blocks * 2):
+        sizes = [bk + bp for bk, bp in zip(block_ks, block_parities)]
+        over = [i for i, size in enumerate(sizes) if size > max_block_size]
+        if not over:
+            break
+        donor = over[0]
+        receiver = min(
+            (i for i in range(num_blocks) if sizes[i] < max_block_size),
+            key=lambda i: sizes[i],
+            default=None,
+        )
+        if receiver is None:
+            raise ValueError(
+                f"cannot fit k={k}, n={n} into blocks of at most "
+                f"{max_block_size} packets"
+            )
+        block_parities[donor] -= 1
+        block_parities[receiver] += 1
+
+    block_ns = []
+    for block_k, block_parity in zip(block_ks, block_parities):
+        block_n = block_k + block_parity
+        if block_parity < 1:
+            raise ValueError(
+                f"expansion ratio {ratio:.3f} is too small to give every block "
+                f"at least one parity packet (k={k}, n={n})"
+            )
+        block_ns.append(block_n)
+
+    partition = BlockPartition(block_ks=tuple(block_ks), block_ns=tuple(block_ns))
+    assert partition.k == k and partition.n == n
+    return partition
+
+
+__all__ = ["BlockPartition", "partition_object", "MAX_BLOCK_SIZE_GF256"]

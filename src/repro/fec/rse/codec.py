@@ -1,0 +1,94 @@
+"""Single-block Reed-Solomon erasure codec over GF(2^8).
+
+The codec is systematic and MDS: the first ``k`` encoding symbols are the
+source symbols, and *any* ``k`` received symbols out of ``n`` suffice to
+recover the block.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.galois.matrix import gf_mat_inv, gf_mat_vec
+from repro.galois.tables import FIELD_SIZE
+from repro.galois.vandermonde import systematic_generator_matrix
+
+
+class ReedSolomonBlockCodec:
+    """Encode/decode one source block of ``k`` symbols into ``n`` symbols.
+
+    Parameters
+    ----------
+    k:
+        Number of source symbols (``1 <= k < n``).
+    n:
+        Number of encoding symbols (``n <= 256`` over GF(2^8)).
+    construction:
+        Generator-matrix construction, ``"vandermonde"`` (default, Rizzo
+        style) or ``"cauchy"``.
+    """
+
+    def __init__(self, k: int, n: int, construction: str = "vandermonde"):
+        if not 0 < k < n:
+            raise ValueError(f"require 0 < k < n, got k={k}, n={n}")
+        if n > FIELD_SIZE:
+            raise ValueError(f"n must be <= {FIELD_SIZE} over GF(2^8), got {n}")
+        self.k = int(k)
+        self.n = int(n)
+        self.generator = systematic_generator_matrix(k, n, construction)
+
+    def encode(self, source_symbols: np.ndarray) -> np.ndarray:
+        """Encode ``k`` source symbols into ``n`` encoding symbols.
+
+        ``source_symbols`` is a ``(k, symbol_len)`` uint8 array (or a 1-D
+        array of ``k`` scalars).  The result has the same trailing shape with
+        ``n`` rows; rows ``[0, k)`` are the source symbols unchanged.
+        """
+        source_symbols = np.asarray(source_symbols, dtype=np.uint8)
+        if source_symbols.shape[0] != self.k:
+            raise ValueError(
+                f"expected {self.k} source symbols, got {source_symbols.shape[0]}"
+            )
+        return gf_mat_vec(self.generator, source_symbols)
+
+    def decode(self, received_indices: Sequence[int], received_symbols: np.ndarray) -> np.ndarray:
+        """Recover the ``k`` source symbols from any ``>= k`` received symbols.
+
+        Parameters
+        ----------
+        received_indices:
+            Encoding-symbol indices (ESIs) of the received symbols, each in
+            ``[0, n)``; duplicates are not allowed.
+        received_symbols:
+            Array of received symbols, one row per index.
+
+        Raises
+        ------
+        ValueError
+            If fewer than ``k`` distinct symbols are supplied or an index is
+            out of range / duplicated.
+        """
+        indices = np.asarray(received_indices, dtype=np.int64)
+        received_symbols = np.asarray(received_symbols, dtype=np.uint8)
+        if indices.ndim != 1 or indices.shape[0] != received_symbols.shape[0]:
+            raise ValueError("received_indices and received_symbols must align")
+        if np.unique(indices).size != indices.size:
+            raise ValueError("received_indices must not contain duplicates")
+        if np.any(indices < 0) or np.any(indices >= self.n):
+            raise ValueError(f"received_indices must be in [0, {self.n})")
+        if indices.size < self.k:
+            raise ValueError(
+                f"need at least {self.k} symbols to decode, got {indices.size}"
+            )
+        # The MDS property lets us use any k of the received symbols.  Prefer
+        # source symbols (identity rows) to keep the system small and cheap.
+        order = np.argsort(indices)
+        chosen = order[: self.k]
+        submatrix = self.generator[indices[chosen]]
+        inverse = gf_mat_inv(submatrix)
+        return gf_mat_vec(inverse, received_symbols[chosen])
+
+
+__all__ = ["ReedSolomonBlockCodec"]

@@ -1,0 +1,70 @@
+"""Symbolic (index-only) decoder for the multi-block RSE code.
+
+Because RSE is MDS per block, a block is decodable exactly when at least
+``k_b`` *distinct* encoding packets of that block have been received.  The
+object is decodable when every block is.  The simulator uses this decoder to
+measure the inefficiency ratio without touching payloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fec.base import SymbolicDecoder
+from repro.fec.packet import PacketLayout
+
+
+class RSESymbolicDecoder(SymbolicDecoder):
+    """Tracks per-block reception counts for a multi-block MDS code."""
+
+    def __init__(self, layout: PacketLayout):
+        self._layout = layout
+        num_blocks = layout.num_blocks
+        self._block_needed = np.array([block.k for block in layout.blocks], dtype=np.int64)
+        self._block_received = np.zeros(num_blocks, dtype=np.int64)
+        self._block_complete = np.zeros(num_blocks, dtype=bool)
+        self._seen = np.zeros(layout.n, dtype=bool)
+        # Map every global packet index to its block id once, up front.
+        self._block_of = np.empty(layout.n, dtype=np.int64)
+        for block in layout.blocks:
+            self._block_of[block.source_indices] = block.block_id
+            self._block_of[block.parity_indices] = block.block_id
+        self._complete_blocks = 0
+        self._decoded_sources = 0
+
+    def add_packet(self, index: int) -> bool:
+        if not 0 <= index < self._layout.n:
+            raise IndexError(f"packet index {index} out of range [0, {self._layout.n})")
+        if self.is_complete or self._seen[index]:
+            return self.is_complete
+        self._seen[index] = True
+        block_id = int(self._block_of[index])
+        if self._block_complete[block_id]:
+            return self.is_complete
+        self._block_received[block_id] += 1
+        if self._block_received[block_id] >= self._block_needed[block_id]:
+            self._block_complete[block_id] = True
+            self._complete_blocks += 1
+            self._decoded_sources += int(self._block_needed[block_id])
+        return self.is_complete
+
+    @property
+    def is_complete(self) -> bool:
+        return self._complete_blocks == self._layout.num_blocks
+
+    @property
+    def decoded_source_count(self) -> int:
+        """Source packets recovered so far.
+
+        For incomplete blocks only the *received* source packets count (the
+        MDS decode of a block only happens once ``k_b`` packets are there);
+        completed blocks contribute all their source packets.
+        """
+        partial = 0
+        for block in self._layout.blocks:
+            if not self._block_complete[block.block_id]:
+                partial += int(np.count_nonzero(self._seen[block.source_indices]))
+        return self._decoded_sources + partial
+
+
+__all__ = ["RSESymbolicDecoder"]

@@ -1,0 +1,41 @@
+"""A small in-process FLUTE/ALC-like file delivery substrate.
+
+The paper motivates its study with FLUTE [13] over ALC [9]: massively
+scalable file broadcasting with no back channel, where reliability comes
+entirely from FEC.  This subpackage provides the pieces needed to exercise
+the FEC codes and transmission models in that context without a network:
+
+* :mod:`repro.flute.lct` / :mod:`repro.flute.alc` -- binary LCT headers and
+  ALC packets (header + FEC payload ID + payload).
+* :mod:`repro.flute.oti` -- FEC Object Transmission Information (the code
+  parameters a receiver needs, including the PRNG seed for LDGM codes).
+* :mod:`repro.flute.blocking` -- the source-block partitioning algorithm.
+* :mod:`repro.flute.fdt` -- File Delivery Table instances (XML, as in FLUTE).
+* :mod:`repro.flute.sender` / :mod:`repro.flute.receiver` -- sessions that
+  encode/packetise an object and decode/reassemble it.
+* :mod:`repro.flute.session` -- an in-process delivery harness connecting a
+  sender to receivers through any :class:`repro.channel.LossModel`.
+"""
+
+from repro.flute.alc import AlcPacket
+from repro.flute.blocking import BlockingStructure, compute_blocking
+from repro.flute.fdt import FdtInstance, FileEntry
+from repro.flute.lct import LctHeader
+from repro.flute.oti import FecObjectTransmissionInformation
+from repro.flute.receiver import FluteReceiver
+from repro.flute.sender import FluteSender
+from repro.flute.session import DeliveryReport, deliver_object
+
+__all__ = [
+    "LctHeader",
+    "AlcPacket",
+    "FecObjectTransmissionInformation",
+    "BlockingStructure",
+    "compute_blocking",
+    "FdtInstance",
+    "FileEntry",
+    "FluteSender",
+    "FluteReceiver",
+    "DeliveryReport",
+    "deliver_object",
+]

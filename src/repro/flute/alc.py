@@ -1,0 +1,77 @@
+"""ALC packets: LCT header + FEC payload ID + encoding-symbol payload.
+
+ALC (RFC 3450) instantiates LCT for asynchronous layered coding.  Every
+packet carries the FEC payload ID -- here the (source block number,
+encoding symbol id) pair, as in the small-block and LDPC FEC schemes --
+followed by one encoding symbol.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.flute.lct import LctHeader
+
+_PAYLOAD_ID_STRUCT = struct.Struct("!II")
+
+
+@dataclass(frozen=True)
+class AlcPacket:
+    """One ALC packet.
+
+    Attributes
+    ----------
+    header:
+        The LCT header.
+    source_block_number:
+        Index of the source block the symbol belongs to (SBN).
+    encoding_symbol_id:
+        Index of the symbol within its block (ESI); source symbols come
+        first, parity symbols follow.
+    payload:
+        The encoding symbol.
+    """
+
+    header: LctHeader
+    source_block_number: int
+    encoding_symbol_id: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.source_block_number < 2**32:
+            raise ValueError("source_block_number must fit in 32 bits")
+        if not 0 <= self.encoding_symbol_id < 2**32:
+            raise ValueError("encoding_symbol_id must fit in 32 bits")
+
+    @property
+    def is_fdt(self) -> bool:
+        return self.header.is_fdt
+
+    def to_bytes(self) -> bytes:
+        return (
+            self.header.to_bytes()
+            + _PAYLOAD_ID_STRUCT.pack(self.source_block_number, self.encoding_symbol_id)
+            + bytes(self.payload)
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AlcPacket":
+        header = LctHeader.from_bytes(data)
+        offset = LctHeader.SIZE
+        if len(data) < offset + _PAYLOAD_ID_STRUCT.size:
+            raise ValueError("packet too short for a FEC payload ID")
+        sbn, esi = _PAYLOAD_ID_STRUCT.unpack_from(data, offset)
+        payload = data[offset + _PAYLOAD_ID_STRUCT.size :]
+        return cls(
+            header=header,
+            source_block_number=sbn,
+            encoding_symbol_id=esi,
+            payload=payload,
+        )
+
+    def __len__(self) -> int:
+        return LctHeader.SIZE + _PAYLOAD_ID_STRUCT.size + len(self.payload)
+
+
+__all__ = ["AlcPacket"]

@@ -1,0 +1,83 @@
+"""Source-block partitioning of an object into symbols and blocks.
+
+This mirrors the spirit of the blocking algorithm of RFC 5052 (FEC Building
+Block): an object of ``object_length`` bytes is cut into fixed-size symbols
+(the last one padded) and the symbols are grouped into source blocks whose
+sizes differ by at most one symbol.
+
+For the large-block LDGM codes a single block covers the whole object; for
+RSE the per-block limit of GF(2^8) applies (see
+:mod:`repro.fec.rse.blocks`), so the FLUTE layer simply delegates the block
+geometry to the FEC code's :class:`~repro.fec.packet.PacketLayout` and only
+handles the byte-level slicing here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import validate_positive_int
+
+
+@dataclass(frozen=True)
+class BlockingStructure:
+    """Symbol-level description of an object.
+
+    Attributes
+    ----------
+    object_length:
+        Original object length in bytes.
+    symbol_size:
+        Encoding symbol (packet payload) size in bytes.
+    num_symbols:
+        Number of source symbols (``ceil(object_length / symbol_size)``).
+    padding:
+        Number of padding bytes added to the last symbol.
+    """
+
+    object_length: int
+    symbol_size: int
+    num_symbols: int
+    padding: int
+
+    @property
+    def padded_length(self) -> int:
+        return self.num_symbols * self.symbol_size
+
+
+def compute_blocking(object_length: int, symbol_size: int) -> BlockingStructure:
+    """Compute the symbol structure for an object."""
+    object_length = validate_positive_int(object_length, "object_length")
+    symbol_size = validate_positive_int(symbol_size, "symbol_size")
+    num_symbols = math.ceil(object_length / symbol_size)
+    padding = num_symbols * symbol_size - object_length
+    return BlockingStructure(
+        object_length=object_length,
+        symbol_size=symbol_size,
+        num_symbols=num_symbols,
+        padding=padding,
+    )
+
+
+def slice_object(data: bytes, symbol_size: int) -> list[bytes]:
+    """Cut ``data`` into symbols of ``symbol_size`` bytes, zero-padding the last."""
+    blocking = compute_blocking(len(data), symbol_size)
+    padded = bytes(data) + b"\x00" * blocking.padding
+    return [
+        padded[i * symbol_size : (i + 1) * symbol_size]
+        for i in range(blocking.num_symbols)
+    ]
+
+
+def reassemble_object(symbols: list[bytes], object_length: int) -> bytes:
+    """Concatenate source symbols and strip the padding."""
+    data = b"".join(symbols)
+    if len(data) < object_length:
+        raise ValueError(
+            f"symbols cover {len(data)} bytes but the object needs {object_length}"
+        )
+    return data[:object_length]
+
+
+__all__ = ["BlockingStructure", "compute_blocking", "slice_object", "reassemble_object"]

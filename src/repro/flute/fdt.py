@@ -1,0 +1,116 @@
+"""File Delivery Table (FDT) instances.
+
+FLUTE describes the files of a session in FDT instances, XML documents sent
+as objects with TOI 0.  This module keeps the same idea: the FDT instance
+carries, for every file, its TOI, content length and the FEC OTI; it is
+serialised to a small XML document with :mod:`xml.etree.ElementTree`.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.flute.oti import FecObjectTransmissionInformation
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """One file described by an FDT instance."""
+
+    toi: int
+    content_location: str
+    content_length: int
+    oti: FecObjectTransmissionInformation
+
+    def __post_init__(self) -> None:
+        if self.toi <= 0:
+            raise ValueError("data objects must use a TOI >= 1 (0 is the FDT)")
+        if self.content_length < 0:
+            raise ValueError("content_length must be non-negative")
+
+
+@dataclass
+class FdtInstance:
+    """A File Delivery Table instance (the catalogue of session objects)."""
+
+    instance_id: int = 0
+    expires: Optional[int] = None
+    files: Dict[int, FileEntry] = field(default_factory=dict)
+
+    def add_file(self, entry: FileEntry) -> None:
+        if entry.toi in self.files:
+            raise ValueError(f"TOI {entry.toi} is already described by this FDT")
+        self.files[entry.toi] = entry
+
+    def get_file(self, toi: int) -> FileEntry:
+        if toi not in self.files:
+            raise KeyError(f"TOI {toi} is not described by this FDT instance")
+        return self.files[toi]
+
+    def __iter__(self) -> Iterable[FileEntry]:
+        return iter(self.files.values())
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def to_xml(self) -> bytes:
+        """Serialise the FDT instance to an XML byte string."""
+        root = ElementTree.Element("FDT-Instance")
+        root.set("FDT-Instance-ID", str(self.instance_id))
+        if self.expires is not None:
+            root.set("Expires", str(self.expires))
+        for entry in self.files.values():
+            element = ElementTree.SubElement(root, "File")
+            element.set("TOI", str(entry.toi))
+            element.set("Content-Location", entry.content_location)
+            element.set("Content-Length", str(entry.content_length))
+            oti = entry.oti
+            element.set("FEC-Code", oti.code_name)
+            element.set("FEC-K", str(oti.k))
+            element.set("FEC-N", str(oti.n))
+            element.set("FEC-Symbol-Size", str(oti.symbol_size))
+            element.set("FEC-Object-Length", str(oti.object_length))
+            if oti.seed is not None:
+                element.set("FEC-Seed", str(oti.seed))
+            if oti.max_block_size is not None:
+                element.set("FEC-Max-Block-Size", str(oti.max_block_size))
+        return ElementTree.tostring(root, encoding="utf-8", xml_declaration=True)
+
+    @classmethod
+    def from_xml(cls, data: bytes) -> "FdtInstance":
+        """Parse an FDT instance from its XML serialisation."""
+        root = ElementTree.fromstring(data)
+        if root.tag != "FDT-Instance":
+            raise ValueError(f"not an FDT instance (root element {root.tag!r})")
+        instance = cls(
+            instance_id=int(root.get("FDT-Instance-ID", "0")),
+            expires=int(root.get("Expires")) if root.get("Expires") else None,
+        )
+        for element in root.findall("File"):
+            oti = FecObjectTransmissionInformation(
+                code_name=element.get("FEC-Code", ""),
+                k=int(element.get("FEC-K", "0")),
+                n=int(element.get("FEC-N", "0")),
+                symbol_size=int(element.get("FEC-Symbol-Size", "0")),
+                object_length=int(element.get("FEC-Object-Length", "0")),
+                seed=int(element.get("FEC-Seed")) if element.get("FEC-Seed") else None,
+                max_block_size=(
+                    int(element.get("FEC-Max-Block-Size"))
+                    if element.get("FEC-Max-Block-Size")
+                    else None
+                ),
+            )
+            instance.add_file(
+                FileEntry(
+                    toi=int(element.get("TOI", "0")),
+                    content_location=element.get("Content-Location", ""),
+                    content_length=int(element.get("Content-Length", "0")),
+                    oti=oti,
+                )
+            )
+        return instance
+
+
+__all__ = ["FdtInstance", "FileEntry"]

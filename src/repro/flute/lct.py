@@ -1,0 +1,91 @@
+"""Layered Coding Transport (LCT, RFC 3451) header -- simplified binary form.
+
+The real LCT header has a variable-length format with optional congestion
+control information and header extensions.  This implementation keeps the
+fields the delivery substrate actually needs (version, flags, transport
+session id, transport object id) in a fixed 12-byte layout, which is enough
+to exercise the packetisation/reassembly code paths end to end.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+#: struct layout: version+flags (2 bytes), TSI (4 bytes), TOI (4 bytes),
+#: reserved (2 bytes).
+_HEADER_STRUCT = struct.Struct("!BBIIH")
+
+#: Protocol version implemented by this module.
+LCT_VERSION = 1
+
+#: Flag bits.
+FLAG_CLOSE_SESSION = 0x01
+FLAG_CLOSE_OBJECT = 0x02
+FLAG_FDT = 0x04
+
+
+@dataclass(frozen=True)
+class LctHeader:
+    """Fixed-size LCT header.
+
+    Attributes
+    ----------
+    tsi:
+        Transport Session Identifier.
+    toi:
+        Transport Object Identifier (0 is reserved for FDT instances, as in
+        FLUTE).
+    close_session / close_object:
+        The LCT "A" and "B" flags.
+    is_fdt:
+        Marks FDT-instance packets (a simplification of FLUTE's LCT header
+        extension EXT_FDT).
+    """
+
+    tsi: int
+    toi: int
+    close_session: bool = False
+    close_object: bool = False
+    is_fdt: bool = False
+    version: int = LCT_VERSION
+
+    #: Serialised size in bytes.
+    SIZE = _HEADER_STRUCT.size
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tsi < 2**32:
+            raise ValueError(f"tsi must fit in 32 bits, got {self.tsi}")
+        if not 0 <= self.toi < 2**32:
+            raise ValueError(f"toi must fit in 32 bits, got {self.toi}")
+
+    def to_bytes(self) -> bytes:
+        flags = 0
+        if self.close_session:
+            flags |= FLAG_CLOSE_SESSION
+        if self.close_object:
+            flags |= FLAG_CLOSE_OBJECT
+        if self.is_fdt:
+            flags |= FLAG_FDT
+        return _HEADER_STRUCT.pack(self.version, flags, self.tsi, self.toi, 0)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LctHeader":
+        if len(data) < cls.SIZE:
+            raise ValueError(
+                f"LCT header needs {cls.SIZE} bytes, got {len(data)}"
+            )
+        version, flags, tsi, toi, _reserved = _HEADER_STRUCT.unpack_from(data)
+        if version != LCT_VERSION:
+            raise ValueError(f"unsupported LCT version {version}")
+        return cls(
+            tsi=tsi,
+            toi=toi,
+            close_session=bool(flags & FLAG_CLOSE_SESSION),
+            close_object=bool(flags & FLAG_CLOSE_OBJECT),
+            is_fdt=bool(flags & FLAG_FDT),
+            version=version,
+        )
+
+
+__all__ = ["LctHeader", "LCT_VERSION", "FLAG_CLOSE_SESSION", "FLAG_CLOSE_OBJECT", "FLAG_FDT"]

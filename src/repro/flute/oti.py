@@ -1,0 +1,68 @@
+"""FEC Object Transmission Information (OTI).
+
+The OTI is the set of FEC parameters a receiver needs to instantiate the
+same decoder as the sender: code name, object dimensions, symbol size and
+-- for the LDGM codes, whose parity-check matrix is drawn pseudo-randomly
+-- the PRNG seed used by the sender (the real LDPC FEC scheme, RFC 5170,
+also transmits a seed in its OTI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Any, Dict, Optional
+
+from repro.fec.base import FECCode
+from repro.fec.registry import make_code
+
+
+@dataclass(frozen=True)
+class FecObjectTransmissionInformation:
+    """FEC parameters describing one transmitted object."""
+
+    code_name: str
+    k: int
+    n: int
+    symbol_size: int
+    object_length: int
+    seed: Optional[int] = None
+    max_block_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.k <= 0 or self.n <= self.k:
+            raise ValueError(f"invalid OTI dimensions k={self.k}, n={self.n}")
+        if self.symbol_size <= 0:
+            raise ValueError(f"symbol_size must be positive, got {self.symbol_size}")
+        if self.object_length < 0:
+            raise ValueError("object_length must be non-negative")
+
+    @property
+    def expansion_ratio(self) -> float:
+        return self.n / self.k
+
+    def build_code(self) -> FECCode:
+        """Instantiate the FEC code described by this OTI."""
+        options: Dict[str, Any] = {}
+        if self.max_block_size is not None:
+            options["max_block_size"] = self.max_block_size
+        return make_code(self.code_name, k=self.k, n=self.n, seed=self.seed, **options)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FecObjectTransmissionInformation":
+        return cls(
+            code_name=str(data["code_name"]),
+            k=int(data["k"]),
+            n=int(data["n"]),
+            symbol_size=int(data["symbol_size"]),
+            object_length=int(data["object_length"]),
+            seed=None if data.get("seed") is None else int(data["seed"]),
+            max_block_size=(
+                None if data.get("max_block_size") is None else int(data["max_block_size"])
+            ),
+        )
+
+
+__all__ = ["FecObjectTransmissionInformation"]

@@ -1,0 +1,124 @@
+"""FLUTE receiver session: decode ALC packets back into the object.
+
+The receiver bootstraps from the FDT instance (which carries the FEC OTI,
+including the LDGM seed), instantiates the same FEC code as the sender,
+feeds every data packet to the incremental payload decoder and reassembles
+the object once decoding completes.  It also keeps the counters needed to
+report the paper's metrics (packets received vs. packets needed).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fec.base import FECCode, ObjectDecoder
+from repro.flute.alc import AlcPacket
+from repro.flute.blocking import reassemble_object
+from repro.flute.fdt import FdtInstance, FileEntry
+from repro.flute.sender import FDT_TOI
+
+
+class FluteReceiver:
+    """Receive ALC packets for one transport object and rebuild it.
+
+    Parameters
+    ----------
+    tsi:
+        Transport session to listen to; packets from other sessions are
+        ignored (counted in :attr:`ignored_packets`).
+    toi:
+        Transport object of interest; ``None`` accepts the first data TOI
+        announced by an FDT instance.
+    """
+
+    def __init__(self, *, tsi: int = 0, toi: Optional[int] = None):
+        self.tsi = int(tsi)
+        self.toi = toi
+        self.fdt: Optional[FdtInstance] = None
+        self.file_entry: Optional[FileEntry] = None
+        self._code: Optional[FECCode] = None
+        self._decoder: Optional[ObjectDecoder] = None
+        self._global_index: dict[tuple[int, int], int] = {}
+        self.packets_received = 0
+        self.packets_until_decoded: Optional[int] = None
+        self.ignored_packets = 0
+        self._buffered: list[AlcPacket] = []
+
+    @property
+    def is_complete(self) -> bool:
+        """True once the object payload has been fully recovered."""
+        return self._decoder is not None and self._decoder.is_complete
+
+    @property
+    def inefficiency_ratio(self) -> float:
+        """Data packets received when decoding completed, divided by ``k``."""
+        if not self.is_complete or self._code is None or self.packets_until_decoded is None:
+            return float("nan")
+        return self.packets_until_decoded / self._code.k
+
+    def feed_bytes(self, data: bytes) -> bool:
+        """Feed one serialised ALC packet; returns completion."""
+        return self.feed(AlcPacket.from_bytes(data))
+
+    def feed(self, packet: AlcPacket) -> bool:
+        """Feed one ALC packet; returns ``True`` once the object is complete."""
+        if packet.header.tsi != self.tsi:
+            self.ignored_packets += 1
+            return self.is_complete
+        if packet.is_fdt or packet.header.toi == FDT_TOI:
+            self._handle_fdt(packet)
+            return self.is_complete
+        if self.toi is not None and packet.header.toi != self.toi:
+            self.ignored_packets += 1
+            return self.is_complete
+        if self._decoder is None:
+            # Data packet before the FDT: remember it and replay later.
+            self._buffered.append(packet)
+            return self.is_complete
+        self._handle_data(packet)
+        return self.is_complete
+
+    def _handle_fdt(self, packet: AlcPacket) -> None:
+        if self.fdt is not None:
+            return
+        self.fdt = FdtInstance.from_xml(packet.payload)
+        if self.toi is None:
+            if not len(self.fdt):
+                raise ValueError("received an FDT instance describing no files")
+            self.toi = next(iter(self.fdt)).toi
+        self.file_entry = self.fdt.get_file(self.toi)
+        self._code = self.file_entry.oti.build_code()
+        self._decoder = self._code.new_decoder()
+        for block in self._code.layout.blocks:
+            for esi, index in enumerate(block.all_indices):
+                self._global_index[(block.block_id, esi)] = int(index)
+        buffered, self._buffered = self._buffered, []
+        for pending in buffered:
+            self._handle_data(pending)
+
+    def _handle_data(self, packet: AlcPacket) -> None:
+        assert self._decoder is not None and self._code is not None
+        if self.is_complete:
+            self.packets_received += 1
+            return
+        key = (packet.source_block_number, packet.encoding_symbol_id)
+        if key not in self._global_index:
+            self.ignored_packets += 1
+            return
+        self.packets_received += 1
+        completed = self._decoder.add_packet(self._global_index[key], packet.payload)
+        if completed and self.packets_until_decoded is None:
+            self.packets_until_decoded = self.packets_received
+
+    def object_data(self) -> bytes:
+        """The reassembled object (requires completion)."""
+        if not self.is_complete or self._decoder is None or self.file_entry is None:
+            raise RuntimeError("the object has not been fully received yet")
+        return reassemble_object(
+            self._decoder.source_payloads(), self.file_entry.content_length
+        )
+
+
+__all__ = ["FluteReceiver"]

@@ -1,0 +1,208 @@
+"""FLUTE sender session: encode an object and emit ALC packets.
+
+The sender performs the full transmit-side pipeline of the paper's system
+model (figure 3): slice the object into symbols, FEC-encode it, choose a
+transmission order with a :class:`~repro.scheduling.base.TransmissionModel`
+and wrap every encoding symbol into an ALC packet.  An FDT instance packet
+describing the object (and carrying the FEC OTI) is emitted first so a
+receiver can bootstrap itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.fec.base import FECCode
+from repro.fec.registry import make_code
+from repro.flute.alc import AlcPacket
+from repro.flute.blocking import compute_blocking, slice_object
+from repro.flute.fdt import FdtInstance, FileEntry
+from repro.flute.lct import LctHeader
+from repro.flute.oti import FecObjectTransmissionInformation
+from repro.scheduling.base import TransmissionModel
+from repro.scheduling.registry import make_tx_model
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import validate_positive_int
+
+#: TOI reserved for FDT instances, as in FLUTE.
+FDT_TOI = 0
+
+
+class FluteSender:
+    """Encode one object and generate its ALC packet stream.
+
+    Parameters
+    ----------
+    data:
+        The object content.
+    toi:
+        Transport Object Identifier (>= 1).
+    tsi:
+        Transport Session Identifier.
+    symbol_size:
+        Packet payload size in bytes (the paper uses 1024).
+    code:
+        FEC code name (``"rse"``, ``"ldgm-staircase"``, ...).
+    expansion_ratio:
+        FEC expansion ratio ``n / k``.
+    tx_model:
+        Transmission-model name or instance controlling packet order.
+    seed:
+        Seed for the code construction and the scheduler.
+    content_location:
+        Name advertised in the FDT.
+    """
+
+    def __init__(
+        self,
+        data: bytes,
+        *,
+        toi: int = 1,
+        tsi: int = 0,
+        symbol_size: int = 1024,
+        code: str = "ldgm-staircase",
+        expansion_ratio: float = 1.5,
+        tx_model: str | TransmissionModel = "tx_model_4",
+        seed: RandomState = None,
+        content_location: str = "file",
+        code_options: Optional[dict] = None,
+        tx_options: Optional[dict] = None,
+    ):
+        if len(data) == 0:
+            raise ValueError("cannot send an empty object")
+        self.data = bytes(data)
+        self.toi = validate_positive_int(toi, "toi")
+        self.tsi = int(tsi)
+        self.symbol_size = validate_positive_int(symbol_size, "symbol_size")
+        self.content_location = content_location
+
+        self._rng = ensure_rng(seed)
+        self._code_seed = int(self._rng.integers(0, 2**31 - 1))
+
+        blocking = compute_blocking(len(self.data), self.symbol_size)
+        self.blocking = blocking
+        source_symbols = slice_object(self.data, self.symbol_size)
+        if blocking.num_symbols < 2:
+            raise ValueError(
+                "the object must span at least two symbols; decrease symbol_size"
+            )
+
+        self.code: FECCode = make_code(
+            code,
+            k=blocking.num_symbols,
+            expansion_ratio=expansion_ratio,
+            seed=self._code_seed,
+            **(code_options or {}),
+        )
+        if isinstance(tx_model, TransmissionModel):
+            self.tx_model = tx_model
+        else:
+            self.tx_model = make_tx_model(tx_model, **(tx_options or {}))
+
+        self._payloads = self.code.new_encoder().encode(source_symbols)
+        self._oti = FecObjectTransmissionInformation(
+            code_name=self.code.name,
+            k=self.code.k,
+            n=self.code.n,
+            symbol_size=self.symbol_size,
+            object_length=len(self.data),
+            seed=self._code_seed,
+            max_block_size=(code_options or {}).get("max_block_size"),
+        )
+        # Map global packet index -> (source block number, encoding symbol id).
+        self._sbn = np.empty(self.code.n, dtype=np.int64)
+        self._esi = np.empty(self.code.n, dtype=np.int64)
+        for block in self.code.layout.blocks:
+            for esi, index in enumerate(block.all_indices):
+                self._sbn[int(index)] = block.block_id
+                self._esi[int(index)] = esi
+
+    @property
+    def oti(self) -> FecObjectTransmissionInformation:
+        """FEC Object Transmission Information advertised in the FDT."""
+        return self._oti
+
+    def fdt_instance(self) -> FdtInstance:
+        """FDT instance describing this object."""
+        fdt = FdtInstance(instance_id=self.toi)
+        fdt.add_file(
+            FileEntry(
+                toi=self.toi,
+                content_location=self.content_location,
+                content_length=len(self.data),
+                oti=self._oti,
+            )
+        )
+        return fdt
+
+    def fdt_packet(self) -> AlcPacket:
+        """ALC packet carrying the FDT instance (TOI 0)."""
+        header = LctHeader(tsi=self.tsi, toi=FDT_TOI, is_fdt=True)
+        return AlcPacket(
+            header=header,
+            source_block_number=0,
+            encoding_symbol_id=0,
+            payload=self.fdt_instance().to_xml(),
+        )
+
+    def data_packet(self, global_index: int, *, close_object: bool = False) -> AlcPacket:
+        """ALC packet carrying encoding symbol ``global_index``."""
+        if not 0 <= global_index < self.code.n:
+            raise IndexError(
+                f"packet index {global_index} out of range [0, {self.code.n})"
+            )
+        header = LctHeader(tsi=self.tsi, toi=self.toi, close_object=close_object)
+        return AlcPacket(
+            header=header,
+            source_block_number=int(self._sbn[global_index]),
+            encoding_symbol_id=int(self._esi[global_index]),
+            payload=self._payloads[global_index],
+        )
+
+    def packets(
+        self,
+        *,
+        include_fdt: bool = True,
+        carousel_cycles: int = 1,
+        nsent: Optional[int] = None,
+        rng: RandomState = None,
+    ) -> Iterator[AlcPacket]:
+        """Generate the packet stream for the transmission.
+
+        Parameters
+        ----------
+        include_fdt:
+            Emit the FDT packet before the data packets (and at the start of
+            every carousel cycle).
+        carousel_cycles:
+            Number of times the whole object is transmitted (content
+            broadcast systems typically cycle the object in a carousel so
+            late joiners can still receive it).
+        nsent:
+            Truncate every cycle to its first ``nsent`` data packets
+            (section 6.2 of the paper).
+        rng:
+            Scheduler randomness; defaults to the sender's own generator.
+        """
+        carousel_cycles = validate_positive_int(carousel_cycles, "carousel_cycles")
+        rng = self._rng if rng is None else ensure_rng(rng)
+        for _cycle in range(carousel_cycles):
+            if include_fdt:
+                yield self.fdt_packet()
+            schedule = self.tx_model.schedule(self.code.layout, rng)
+            schedule = self.tx_model.validate_schedule(self.code.layout, schedule)
+            if nsent is not None:
+                schedule = schedule[: int(nsent)]
+            for position, index in enumerate(schedule.tolist()):
+                close = position == schedule.size - 1
+                yield self.data_packet(index, close_object=close)
+
+    def global_index_of(self, source_block_number: int, encoding_symbol_id: int) -> int:
+        """Inverse of the (SBN, ESI) mapping used by :meth:`data_packet`."""
+        block = self.code.layout.blocks[source_block_number]
+        return int(block.all_indices[encoding_symbol_id])
+
+
+__all__ = ["FluteSender", "FDT_TOI"]

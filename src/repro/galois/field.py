@@ -1,0 +1,158 @@
+"""Element-wise GF(2^8) arithmetic.
+
+All operations accept scalars or numpy arrays of ``uint8`` values (any
+integer dtype in range [0, 255] is accepted and converted) and broadcast like
+the corresponding numpy operations.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.galois.tables import (
+    EXP_TABLE,
+    FIELD_SIZE,
+    GROUP_ORDER,
+    INV_TABLE,
+    LOG_TABLE,
+    MUL_TABLE,
+)
+
+ArrayLike = Union[int, np.ndarray]
+
+
+def _as_field_array(value: ArrayLike, name: str = "value") -> np.ndarray:
+    """Convert ``value`` to a uint8 array, checking the field range."""
+    array = np.asarray(value)
+    if array.dtype == np.uint8:
+        return array
+    if not np.issubdtype(array.dtype, np.integer):
+        raise TypeError(f"{name} must contain integers, got dtype {array.dtype}")
+    if array.size and (array.min() < 0 or array.max() >= FIELD_SIZE):
+        raise ValueError(f"{name} must contain values in [0, 255]")
+    return array.astype(np.uint8)
+
+
+def gf_add(a: ArrayLike, b: ArrayLike) -> np.ndarray:
+    """Addition in GF(2^8): bitwise XOR.  Subtraction is identical."""
+    return np.bitwise_xor(_as_field_array(a, "a"), _as_field_array(b, "b"))
+
+
+def gf_mul(a: ArrayLike, b: ArrayLike) -> np.ndarray:
+    """Element-wise multiplication in GF(2^8)."""
+    a = _as_field_array(a, "a")
+    b = _as_field_array(b, "b")
+    return MUL_TABLE[a, b]
+
+
+def gf_inv(a: ArrayLike) -> np.ndarray:
+    """Multiplicative inverse.  Raises ``ZeroDivisionError`` on zero input."""
+    a = _as_field_array(a, "a")
+    if np.any(a == 0):
+        raise ZeroDivisionError("0 has no multiplicative inverse in GF(2^8)")
+    return INV_TABLE[a]
+
+
+def gf_div(a: ArrayLike, b: ArrayLike) -> np.ndarray:
+    """Element-wise division ``a / b``.  Raises ``ZeroDivisionError`` if any b is 0."""
+    a = _as_field_array(a, "a")
+    b = _as_field_array(b, "b")
+    if np.any(b == 0):
+        raise ZeroDivisionError("division by zero in GF(2^8)")
+    return MUL_TABLE[a, INV_TABLE[b]]
+
+
+def gf_pow(a: ArrayLike, exponent: int) -> np.ndarray:
+    """Raise field elements to an integer power (exponent may be negative)."""
+    a = _as_field_array(a, "a")
+    exponent = int(exponent)
+    result = np.empty_like(a)
+    zero_mask = a == 0
+    if exponent == 0:
+        # 0^0 is defined as 1 here (empty product), matching numpy's convention.
+        result[...] = 1
+        return result
+    if exponent < 0 and np.any(zero_mask):
+        raise ZeroDivisionError("0 cannot be raised to a negative power")
+    logs = LOG_TABLE[a.astype(np.int32)]
+    powered = EXP_TABLE[(logs * exponent) % GROUP_ORDER].astype(np.uint8)
+    result[...] = powered
+    result[zero_mask] = 0
+    return result
+
+
+class GF256:
+    """A thin scalar wrapper over GF(2^8) arithmetic, convenient for tests
+    and for writing reference (non-vectorised) algorithms.
+
+    >>> GF256(3) * GF256(7)
+    GF256(9)
+    >>> GF256(5) + GF256(5)
+    GF256(0)
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        value = int(value)
+        if not 0 <= value < FIELD_SIZE:
+            raise ValueError(f"GF256 element must be in [0, 255], got {value}")
+        self.value = value
+
+    def __add__(self, other: "GF256") -> "GF256":
+        return GF256(self.value ^ _coerce(other))
+
+    __radd__ = __add__
+    __sub__ = __add__
+    __rsub__ = __add__
+
+    def __mul__(self, other: "GF256") -> "GF256":
+        return GF256(int(MUL_TABLE[self.value, _coerce(other)]))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "GF256") -> "GF256":
+        other_value = _coerce(other)
+        if other_value == 0:
+            raise ZeroDivisionError("division by zero in GF(2^8)")
+        return GF256(int(MUL_TABLE[self.value, INV_TABLE[other_value]]))
+
+    def __pow__(self, exponent: int) -> "GF256":
+        return GF256(int(gf_pow(np.uint8(self.value), exponent)))
+
+    def inverse(self) -> "GF256":
+        if self.value == 0:
+            raise ZeroDivisionError("0 has no multiplicative inverse in GF(2^8)")
+        return GF256(int(INV_TABLE[self.value]))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, GF256):
+            return self.value == other.value
+        if isinstance(other, (int, np.integer)):
+            return self.value == int(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("GF256", self.value))
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"GF256({self.value})"
+
+
+def _coerce(other: Union[GF256, int]) -> int:
+    if isinstance(other, GF256):
+        return other.value
+    if isinstance(other, (int, np.integer)):
+        value = int(other)
+        if not 0 <= value < FIELD_SIZE:
+            raise ValueError(f"GF256 element must be in [0, 255], got {value}")
+        return value
+    raise TypeError(f"cannot operate on GF256 and {type(other).__name__}")
+
+
+__all__ = ["GF256", "gf_add", "gf_mul", "gf_div", "gf_inv", "gf_pow"]

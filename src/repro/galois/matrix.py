@@ -1,0 +1,156 @@
+"""Matrix algebra over GF(2^8).
+
+These routines back the Reed-Solomon erasure codec: building the systematic
+generator matrix requires inverting a Vandermonde block, and decoding
+requires solving a k x k linear system formed from the received rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.galois.field import _as_field_array, gf_mul
+from repro.galois.tables import INV_TABLE, MUL_TABLE
+
+
+class SingularMatrixError(ValueError):
+    """Raised when a matrix that must be invertible is singular."""
+
+
+def gf_identity(size: int) -> np.ndarray:
+    """Identity matrix of the given size over GF(2^8)."""
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    return np.eye(size, dtype=np.uint8)
+
+
+def gf_mat_vec(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """Matrix-vector product over GF(2^8).
+
+    ``vector`` may be 1-D (a vector of field elements) or 2-D (a stack of
+    symbols: one row per matrix column, e.g. packet payloads), in which case
+    the product is computed symbol-wise.
+    """
+    matrix = _as_field_array(matrix, "matrix")
+    vector = _as_field_array(vector, "vector")
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    if vector.shape[0] != matrix.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: matrix has {matrix.shape[1]} columns, "
+            f"vector has {vector.shape[0]} rows"
+        )
+    if vector.ndim == 1:
+        result = np.zeros(matrix.shape[0], dtype=np.uint8)
+        for j in range(matrix.shape[1]):
+            result ^= MUL_TABLE[matrix[:, j], vector[j]]
+        return result
+    if vector.ndim == 2:
+        result = np.zeros((matrix.shape[0], vector.shape[1]), dtype=np.uint8)
+        for j in range(matrix.shape[1]):
+            # Multiply the whole payload of symbol j by each coefficient.
+            result ^= MUL_TABLE[matrix[:, j][:, None], vector[j][None, :]]
+        return result
+    raise ValueError(f"vector must be 1-D or 2-D, got shape {vector.shape}")
+
+
+def gf_mat_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix-matrix product over GF(2^8)."""
+    a = _as_field_array(a, "a")
+    b = _as_field_array(b, "b")
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("both operands must be 2-D matrices")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"dimension mismatch: {a.shape} x {b.shape}")
+    result = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for j in range(a.shape[1]):
+        result ^= MUL_TABLE[a[:, j][:, None], b[j][None, :]]
+    return result
+
+
+def gf_mat_inv(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination.
+
+    Raises
+    ------
+    SingularMatrixError
+        If the matrix is singular.
+    """
+    matrix = _as_field_array(matrix, "matrix")
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"matrix must be square, got shape {matrix.shape}")
+    size = matrix.shape[0]
+    work = matrix.astype(np.uint8).copy()
+    inverse = gf_identity(size)
+    for col in range(size):
+        pivot_row = _find_pivot(work, col)
+        if pivot_row is None:
+            raise SingularMatrixError(f"matrix is singular (no pivot in column {col})")
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+            inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
+        pivot_inv = INV_TABLE[work[col, col]]
+        work[col] = MUL_TABLE[work[col], pivot_inv]
+        inverse[col] = MUL_TABLE[inverse[col], pivot_inv]
+        # Eliminate the column from every other row.
+        factors = work[:, col].copy()
+        factors[col] = 0
+        rows = np.nonzero(factors)[0]
+        if rows.size:
+            work[rows] ^= MUL_TABLE[factors[rows][:, None], work[col][None, :]]
+            inverse[rows] ^= MUL_TABLE[factors[rows][:, None], inverse[col][None, :]]
+    return inverse
+
+
+def gf_mat_rank(matrix: np.ndarray) -> int:
+    """Rank of a matrix over GF(2^8)."""
+    matrix = _as_field_array(matrix, "matrix")
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    work = matrix.astype(np.uint8).copy()
+    rows, cols = work.shape
+    rank = 0
+    for col in range(cols):
+        if rank == rows:
+            break
+        pivot_candidates = np.nonzero(work[rank:, col])[0]
+        if pivot_candidates.size == 0:
+            continue
+        pivot_row = rank + int(pivot_candidates[0])
+        if pivot_row != rank:
+            work[[rank, pivot_row]] = work[[pivot_row, rank]]
+        pivot_inv = INV_TABLE[work[rank, col]]
+        work[rank] = MUL_TABLE[work[rank], pivot_inv]
+        factors = work[rank + 1 :, col].copy()
+        nz = np.nonzero(factors)[0]
+        if nz.size:
+            work[rank + 1 + nz] ^= MUL_TABLE[factors[nz][:, None], work[rank][None, :]]
+        rank += 1
+    return rank
+
+
+def gf_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``matrix @ x = rhs`` over GF(2^8).
+
+    ``rhs`` may be 1-D or 2-D (symbol payloads, one row per equation).
+    """
+    inverse = gf_mat_inv(matrix)
+    return gf_mat_vec(inverse, _as_field_array(rhs, "rhs"))
+
+
+def _find_pivot(work: np.ndarray, col: int) -> int | None:
+    candidates = np.nonzero(work[col:, col])[0]
+    if candidates.size == 0:
+        return None
+    return col + int(candidates[0])
+
+
+__all__ = [
+    "SingularMatrixError",
+    "gf_identity",
+    "gf_mat_vec",
+    "gf_mat_mul",
+    "gf_mat_inv",
+    "gf_mat_rank",
+    "gf_solve",
+]

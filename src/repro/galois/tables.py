@@ -1,0 +1,72 @@
+"""Exponent and logarithm tables for GF(2^8).
+
+The field is built from the primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D), the polynomial used by Rizzo's
+erasure codec and by most RSE implementations.  The tables are computed once
+at import time and shared by the whole package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Order of the field (number of elements).
+FIELD_SIZE = 256
+
+#: Number of non-zero elements (order of the multiplicative group).
+GROUP_ORDER = FIELD_SIZE - 1
+
+#: Primitive polynomial x^8 + x^4 + x^3 + x^2 + 1.
+PRIMITIVE_POLYNOMIAL = 0x11D
+
+#: Generator element of the multiplicative group.
+GENERATOR = 0x02
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Build the (exp, log) tables for GF(2^8).
+
+    ``exp`` has length 2 * GROUP_ORDER so that ``exp[log[a] + log[b]]`` can be
+    used without an explicit modulo reduction.
+    """
+    exp = np.zeros(2 * GROUP_ORDER, dtype=np.int32)
+    log = np.zeros(FIELD_SIZE, dtype=np.int32)
+    value = 1
+    for exponent in range(GROUP_ORDER):
+        exp[exponent] = value
+        log[value] = exponent
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLYNOMIAL
+    exp[GROUP_ORDER:] = exp[:GROUP_ORDER]
+    # log[0] is undefined; keep a sentinel that will surface bugs loudly if
+    # it is ever used in an exp lookup.
+    log[0] = -(2 * GROUP_ORDER)
+    return exp, log
+
+
+EXP_TABLE, LOG_TABLE = _build_tables()
+
+#: Full 256 x 256 multiplication table.  40 KiB, built once; it makes the
+#: vectorised multiply a single fancy-indexing operation.
+MUL_TABLE = np.zeros((FIELD_SIZE, FIELD_SIZE), dtype=np.uint8)
+_nz = np.arange(1, FIELD_SIZE)
+MUL_TABLE[1:, 1:] = EXP_TABLE[
+    (LOG_TABLE[_nz][:, None] + LOG_TABLE[_nz][None, :]) % GROUP_ORDER
+].astype(np.uint8)
+
+#: Multiplicative inverse table; INV_TABLE[0] is 0 by convention (never used
+#: for a real inversion -- dividing by zero raises).
+INV_TABLE = np.zeros(FIELD_SIZE, dtype=np.uint8)
+INV_TABLE[1:] = EXP_TABLE[GROUP_ORDER - LOG_TABLE[_nz]].astype(np.uint8)
+
+__all__ = [
+    "FIELD_SIZE",
+    "GROUP_ORDER",
+    "PRIMITIVE_POLYNOMIAL",
+    "GENERATOR",
+    "EXP_TABLE",
+    "LOG_TABLE",
+    "MUL_TABLE",
+    "INV_TABLE",
+]

@@ -1,0 +1,103 @@
+"""Vandermonde and Cauchy matrices over GF(2^8).
+
+The Reed-Solomon erasure codec (Rizzo-style, [14] in the paper) derives its
+systematic generator matrix from an ``n x k`` Vandermonde matrix: any ``k``
+rows of such a matrix are linearly independent, which is exactly the MDS
+property ("any k received packets out of n suffice").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.galois.field import gf_pow
+from repro.galois.matrix import gf_mat_inv, gf_mat_mul
+from repro.galois.tables import FIELD_SIZE, GENERATOR, EXP_TABLE, GROUP_ORDER, INV_TABLE, MUL_TABLE
+
+
+def vandermonde_matrix(rows: int, cols: int) -> np.ndarray:
+    """Build a ``rows x cols`` Vandermonde matrix ``V[i, j] = x_i^j``.
+
+    The evaluation points ``x_i`` are ``0, 1, alpha, alpha^2, ...`` (the row
+    for ``x = 0`` is ``[1, 0, 0, ...]``), which gives distinct points for up
+    to 256 rows and therefore guarantees that any ``cols`` rows are linearly
+    independent as long as ``rows <= 256``.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"rows and cols must be >= 1, got {rows}, {cols}")
+    if rows > FIELD_SIZE:
+        raise ValueError(
+            f"at most {FIELD_SIZE} rows are possible over GF(2^8), got {rows}"
+        )
+    points = np.zeros(rows, dtype=np.uint8)
+    # x_0 = 0, x_i = alpha^(i-1) for i >= 1.
+    count_nonzero = rows - 1
+    if count_nonzero > 0:
+        exponents = np.arange(count_nonzero) % GROUP_ORDER
+        points[1:] = EXP_TABLE[exponents].astype(np.uint8)
+    matrix = np.zeros((rows, cols), dtype=np.uint8)
+    for j in range(cols):
+        matrix[:, j] = gf_pow(points, j)
+    return matrix
+
+
+def cauchy_matrix(rows: int, cols: int) -> np.ndarray:
+    """Build a ``rows x cols`` Cauchy matrix ``C[i, j] = 1 / (x_i + y_j)``.
+
+    Cauchy matrices have the stronger property that *every* square submatrix
+    is invertible.  They are provided as an alternative construction for the
+    parity part of the RSE generator matrix.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"rows and cols must be >= 1, got {rows}, {cols}")
+    if rows + cols > FIELD_SIZE:
+        raise ValueError(
+            f"rows + cols must be <= {FIELD_SIZE} over GF(2^8), got {rows + cols}"
+        )
+    x_points = np.arange(cols, cols + rows, dtype=np.int64) % FIELD_SIZE
+    y_points = np.arange(cols, dtype=np.int64)
+    sums = (x_points[:, None] ^ y_points[None, :]).astype(np.uint8)
+    if np.any(sums == 0):
+        raise ValueError("Cauchy points collide; choose disjoint x and y sets")
+    return INV_TABLE[sums]
+
+
+def systematic_generator_matrix(k: int, n: int, construction: str = "vandermonde") -> np.ndarray:
+    """Build an ``n x k`` systematic MDS generator matrix over GF(2^8).
+
+    The first ``k`` rows form the identity (source packets are transmitted
+    verbatim); the remaining ``n - k`` rows generate the parity packets.  Any
+    ``k`` rows of the result are linearly independent.
+
+    Parameters
+    ----------
+    k:
+        Number of source symbols per block.
+    n:
+        Total number of encoding symbols per block (``k < n <= 256``).
+    construction:
+        ``"vandermonde"`` (Rizzo-style: a Vandermonde matrix is reduced so
+        its top block is the identity) or ``"cauchy"`` (identity stacked on a
+        Cauchy parity block).
+    """
+    if not 0 < k < n:
+        raise ValueError(f"require 0 < k < n, got k={k}, n={n}")
+    if n > FIELD_SIZE:
+        raise ValueError(f"n must be <= {FIELD_SIZE} over GF(2^8), got {n}")
+    if construction == "vandermonde":
+        vandermonde = vandermonde_matrix(n, k)
+        top_inverse = gf_mat_inv(vandermonde[:k])
+        generator = gf_mat_mul(vandermonde, top_inverse)
+    elif construction == "cauchy":
+        generator = np.zeros((n, k), dtype=np.uint8)
+        generator[:k] = np.eye(k, dtype=np.uint8)
+        generator[k:] = cauchy_matrix(n - k, k)
+    else:
+        raise ValueError(f"unknown construction {construction!r}")
+    # The systematic part must be exactly the identity.
+    if not np.array_equal(generator[:k], np.eye(k, dtype=np.uint8)):
+        raise AssertionError("systematic generator construction failed")
+    return generator
+
+
+__all__ = ["vandermonde_matrix", "cauchy_matrix", "systematic_generator_matrix"]

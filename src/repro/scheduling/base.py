@@ -1,0 +1,50 @@
+"""Base class for transmission (and reception) models."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.fec.packet import PacketLayout
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class TransmissionModel(abc.ABC):
+    """Decides the order in which encoding packets are transmitted.
+
+    A schedule is an array of global packet indices.  It usually contains
+    every index in ``[0, n)`` exactly once, but a model may also choose to
+    send only a subset (``tx_model_6``) -- the simulator takes the schedule
+    at face value.
+    """
+
+    #: Registry name, e.g. ``"tx_model_2"``.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def schedule(self, layout: PacketLayout, rng: RandomState = None) -> np.ndarray:
+        """Return the transmission order as an array of global packet indices."""
+
+    def description(self) -> str:
+        """One-line human description (defaults to the class docstring)."""
+        doc = (self.__doc__ or "").strip().splitlines()
+        return doc[0] if doc else self.name
+
+    def validate_schedule(self, layout: PacketLayout, schedule: np.ndarray) -> np.ndarray:
+        """Sanity-check a schedule produced by :meth:`schedule`."""
+        schedule = np.asarray(schedule, dtype=np.int64)
+        if schedule.ndim != 1:
+            raise ValueError("schedule must be a 1-D array of packet indices")
+        if schedule.size and (schedule.min() < 0 or schedule.max() >= layout.n):
+            raise ValueError(
+                f"schedule contains indices outside [0, {layout.n})"
+            )
+        return schedule
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+__all__ = ["TransmissionModel"]

@@ -1,0 +1,69 @@
+"""Interleaving helpers used by Tx_model_5.
+
+Two flavours are needed (section 4.7 of the paper):
+
+* **Block interleaving** for RSE: transmit one packet of every block in
+  turn, so the packets of a single block are spread as far apart as
+  possible and a loss burst touches every block a little instead of one
+  block a lot.
+* **Proportional interleaving** for the single-block LDGM codes: alternate
+  source and parity packets so that the source/parity transmission rates
+  follow the expansion ratio (one source packet for every ``n/k - 1``
+  parity packets on average).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fec.packet import PacketLayout
+
+
+def block_interleave(layout: PacketLayout) -> np.ndarray:
+    """Round-robin over blocks: packet ``j`` of block 0, of block 1, ...
+
+    Within each block packets are taken in order (source packets first, then
+    parity), matching the classic interleaver used with Reed-Solomon codes.
+    """
+    per_block = [block.all_indices for block in layout.blocks]
+    longest = max(indices.size for indices in per_block)
+    schedule: list[int] = []
+    for position in range(longest):
+        for indices in per_block:
+            if position < indices.size:
+                schedule.append(int(indices[position]))
+    return np.array(schedule, dtype=np.int64)
+
+
+def proportional_interleave(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Merge two packet streams so their rates stay proportional throughout.
+
+    The classic "Bresenham merge": at every position the stream that is most
+    behind its target proportion emits the next packet.  With ``first`` the
+    source packets and ``second`` the parity packets this realises the
+    paper's "one source packet then n/k - 1 parity packets" schedule for any
+    (possibly non-integer) expansion ratio.
+    """
+    first = np.asarray(first, dtype=np.int64)
+    second = np.asarray(second, dtype=np.int64)
+    total = first.size + second.size
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    schedule = np.empty(total, dtype=np.int64)
+    taken_first = 0
+    taken_second = 0
+    for position in range(total):
+        # Emit from the stream whose progress lags its share the most.
+        need_first = (position + 1) * first.size / total
+        if taken_first < first.size and (
+            taken_first < need_first or taken_second >= second.size
+        ):
+            schedule[position] = first[taken_first]
+            taken_first += 1
+        else:
+            schedule[position] = second[taken_second]
+            taken_second += 1
+    return schedule
+
+
+__all__ = ["block_interleave", "proportional_interleave"]

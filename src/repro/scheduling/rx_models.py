@@ -1,0 +1,61 @@
+"""Reception models (section 5 of the paper).
+
+A reception model directly specifies which packets a receiver obtains and
+in what order, bypassing the transmission/loss decomposition.  It is
+expressed with the :class:`~repro.scheduling.base.TransmissionModel`
+interface and simulated over a perfect channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fec.packet import PacketLayout
+from repro.scheduling.base import TransmissionModel
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import validate_positive_int
+
+
+class RxModel1(TransmissionModel):
+    """Receive a fixed number of source packets first, then all parity
+    packets in random order (Rx_model_1, section 5.1).
+
+    Parameters
+    ----------
+    num_source_packets:
+        How many source packets the receiver obtains before the parity
+        stream starts.  The paper sweeps this value (figure 14) and finds a
+        sweet spot around 400-1000 packets for k = 20000.
+    pick_randomly:
+        If ``True`` (default) the received source packets are a random
+        subset; otherwise the first ``num_source_packets`` in object order.
+    """
+
+    name = "rx_model_1"
+
+    def __init__(self, num_source_packets: int, *, pick_randomly: bool = True):
+        self.num_source_packets = validate_positive_int(
+            num_source_packets, "num_source_packets", minimum=0
+        )
+        self.pick_randomly = pick_randomly
+
+    def schedule(self, layout: PacketLayout, rng: RandomState = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        count = min(self.num_source_packets, layout.k)
+        source = layout.source_indices
+        if self.pick_randomly:
+            chosen = rng.choice(source, size=count, replace=False) if count else np.zeros(0, dtype=np.int64)
+        else:
+            chosen = source[:count]
+        parity = layout.parity_indices.copy()
+        rng.shuffle(parity)
+        return np.concatenate([chosen, parity])
+
+    def __repr__(self) -> str:
+        return (
+            f"RxModel1(num_source_packets={self.num_source_packets}, "
+            f"pick_randomly={self.pick_randomly})"
+        )
+
+
+__all__ = ["RxModel1"]

@@ -1,0 +1,108 @@
+"""The six transmission models evaluated in section 4 of the paper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fec.packet import PacketLayout
+from repro.scheduling.base import TransmissionModel
+from repro.scheduling.interleaver import block_interleave, proportional_interleave
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import validate_fraction
+
+
+class TxModel1(TransmissionModel):
+    """Send source packets sequentially, then parity packets sequentially."""
+
+    name = "tx_model_1"
+
+    def schedule(self, layout: PacketLayout, rng: RandomState = None) -> np.ndarray:
+        return np.concatenate([layout.source_indices, layout.parity_indices])
+
+
+class TxModel2(TransmissionModel):
+    """Send source packets sequentially, then parity packets in random order."""
+
+    name = "tx_model_2"
+
+    def schedule(self, layout: PacketLayout, rng: RandomState = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        parity = layout.parity_indices.copy()
+        rng.shuffle(parity)
+        return np.concatenate([layout.source_indices, parity])
+
+
+class TxModel3(TransmissionModel):
+    """Send parity packets sequentially, then source packets in random order."""
+
+    name = "tx_model_3"
+
+    def schedule(self, layout: PacketLayout, rng: RandomState = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        source = layout.source_indices.copy()
+        rng.shuffle(source)
+        return np.concatenate([layout.parity_indices, source])
+
+
+class TxModel4(TransmissionModel):
+    """Send all packets (source and parity) in a fully random order."""
+
+    name = "tx_model_4"
+
+    def schedule(self, layout: PacketLayout, rng: RandomState = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        order = np.arange(layout.n, dtype=np.int64)
+        rng.shuffle(order)
+        return order
+
+
+class TxModel5(TransmissionModel):
+    """Interleave packets to spread each block / the parity stream over time.
+
+    For multi-block codes (RSE) this is the classic block interleaver: one
+    packet of each block in turn.  For single-block codes (LDGM-*) packets
+    of the source and parity streams are merged proportionally (one source
+    packet for every ``n/k - 1`` parity packets).
+    """
+
+    name = "tx_model_5"
+
+    def schedule(self, layout: PacketLayout, rng: RandomState = None) -> np.ndarray:
+        if layout.num_blocks > 1:
+            return block_interleave(layout)
+        return proportional_interleave(layout.source_indices, layout.parity_indices)
+
+
+class TxModel6(TransmissionModel):
+    """Send a random fraction of the source packets plus all parity packets,
+    mixed in random order (the remaining source packets are never sent).
+
+    Parameters
+    ----------
+    source_fraction:
+        Fraction of source packets included in the transmission (the paper
+        uses 20%).
+    """
+
+    name = "tx_model_6"
+
+    def __init__(self, source_fraction: float = 0.2):
+        self.source_fraction = validate_fraction(source_fraction, "source_fraction")
+
+    def schedule(self, layout: PacketLayout, rng: RandomState = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        source = layout.source_indices
+        keep = int(round(self.source_fraction * source.size))
+        if keep > 0:
+            chosen = rng.choice(source, size=keep, replace=False)
+        else:
+            chosen = np.zeros(0, dtype=np.int64)
+        combined = np.concatenate([chosen, layout.parity_indices])
+        rng.shuffle(combined)
+        return combined
+
+    def __repr__(self) -> str:
+        return f"TxModel6(source_fraction={self.source_fraction})"
+
+
+__all__ = ["TxModel1", "TxModel2", "TxModel3", "TxModel4", "TxModel5", "TxModel6"]

@@ -1,0 +1,18 @@
+"""Small shared utilities: RNG handling and argument validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    validate_expansion_ratio,
+    validate_fraction,
+    validate_positive_int,
+    validate_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "validate_positive_int",
+    "validate_probability",
+    "validate_fraction",
+    "validate_expansion_ratio",
+]

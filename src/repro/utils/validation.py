@@ -1,0 +1,69 @@
+"""Argument validation helpers shared across the library.
+
+All helpers raise ``ValueError`` (or ``TypeError`` for wrong types) with a
+message naming the offending parameter, so call sites stay compact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def validate_positive_int(value: int, name: str, minimum: int = 1) -> int:
+    """Return ``value`` as ``int`` if it is an integer >= ``minimum``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def validate_probability(value: float, name: str) -> float:
+    """Return ``value`` as ``float`` if it lies in the closed interval [0, 1]."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a number, got {value!r}") from exc
+    if not np.isfinite(value) or value < 0.0 or value > 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def validate_fraction(value: float, name: str, *, allow_zero: bool = True) -> float:
+    """Return ``value`` as ``float`` if it lies in [0, 1] (or (0, 1] if not allow_zero)."""
+    value = validate_probability(value, name)
+    if not allow_zero and value == 0.0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def validate_expansion_ratio(value: float, name: str = "expansion_ratio") -> float:
+    """Return ``value`` as ``float`` if it is a valid FEC expansion ratio (> 1)."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a number, got {value!r}") from exc
+    if not np.isfinite(value) or value <= 1.0:
+        raise ValueError(f"{name} must be > 1 (n > k), got {value}")
+    return value
+
+
+def validate_k_n(k: int, n: int) -> tuple[int, int]:
+    """Validate a (k, n) code dimension pair."""
+    k = validate_positive_int(k, "k")
+    n = validate_positive_int(n, "n")
+    if n <= k:
+        raise ValueError(f"n must be > k for a FEC code, got k={k}, n={n}")
+    return k, n
+
+
+__all__ = [
+    "validate_positive_int",
+    "validate_probability",
+    "validate_fraction",
+    "validate_expansion_ratio",
+    "validate_k_n",
+]

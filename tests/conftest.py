@@ -1,0 +1,22 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimulationConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_staircase_config() -> SimulationConfig:
+    """A cheap LDGM Staircase configuration used by several integration tests."""
+    return SimulationConfig(
+        code="ldgm-staircase", tx_model="tx_model_2", k=200, expansion_ratio=2.5
+    )

@@ -1,0 +1,164 @@
+"""Unit tests for the analysis helpers (tables, surfaces, CSV, comparison, report)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLES,
+    ascii_surface,
+    compare_at_point,
+    format_comparison_table,
+    format_grid_table,
+    grid_from_csv,
+    grid_to_csv,
+    recommendation_report,
+)
+from repro.analysis.paper_data import FIGURE15_REFERENCE, get_table_summary
+from repro.core.config import SimulationConfig
+from repro.core.metrics import GridResult
+from repro.core.sweep import simulate_grid
+
+
+@pytest.fixture(scope="module")
+def sample_grid():
+    return GridResult(
+        p_values=[0.0, 0.05, 0.2],
+        q_values=[0.5, 1.0],
+        mean_inefficiency=np.array([[1.0, 1.0], [1.08, 1.05], [np.nan, 1.12]]),
+        mean_received_ratio=np.array([[2.5, 2.5], [2.3, 2.4], [1.4, 2.1]]),
+        failure_counts=np.array([[0, 0], [0, 0], [2, 0]]),
+        runs=5,
+        label="sample / grid",
+    )
+
+
+class TestGridTable:
+    def test_contains_axes_and_values(self, sample_grid):
+        table = format_grid_table(sample_grid)
+        assert "p \\ q" in table
+        assert "1.080" in table
+        assert "-" in table  # the failed point
+        assert table.splitlines()[0] == "sample / grid"
+
+    def test_percent_axes(self, sample_grid):
+        table = format_grid_table(sample_grid)
+        assert "100" in table and "50" in table
+
+    def test_probability_axes(self, sample_grid):
+        table = format_grid_table(sample_grid, percent_axes=False)
+        assert "0.05" in table
+
+    def test_custom_title_and_precision(self, sample_grid):
+        table = format_grid_table(sample_grid, title="Table X", precision=2)
+        assert table.startswith("Table X")
+        assert "1.08" in table
+
+
+class TestComparisonTable:
+    def test_layout(self):
+        values = {
+            "tx_model_2": {"rse": 1.09, "ldgm-staircase": 1.02},
+            "tx_model_4": {"rse": 1.25, "ldgm-staircase": float("nan")},
+        }
+        table = format_comparison_table(values, row_order=["tx_model_2", "tx_model_4"],
+                                        column_order=["rse", "ldgm-staircase"])
+        lines = table.splitlines()
+        assert "rse" in lines[0] and "ldgm-staircase" in lines[0]
+        assert "1.090" in lines[1]
+        assert "-" in lines[2]
+
+
+class TestAsciiSurface:
+    def test_rendering(self, sample_grid):
+        art = ascii_surface(sample_grid)
+        assert "p\\q" in art
+        assert "legend" in art
+        # The failed point renders as a blank.
+        assert any(line.count(" ") for line in art.splitlines())
+
+    def test_empty_ramp_rejected(self, sample_grid):
+        with pytest.raises(ValueError):
+            ascii_surface(sample_grid, ramp="")
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_preserves_grid(self, sample_grid, tmp_path):
+        path = tmp_path / "grid.csv"
+        grid_to_csv(sample_grid, path)
+        restored = grid_from_csv(path)
+        assert restored.label == sample_grid.label
+        assert restored.runs == sample_grid.runs
+        assert np.allclose(restored.p_values, sample_grid.p_values)
+        assert np.allclose(restored.q_values, sample_grid.q_values)
+        assert np.allclose(
+            restored.mean_inefficiency, sample_grid.mean_inefficiency, equal_nan=True
+        )
+        assert np.array_equal(restored.failure_counts, sample_grid.failure_counts)
+
+    def test_roundtrip_from_text(self, sample_grid):
+        text = grid_to_csv(sample_grid)
+        restored = grid_from_csv(text)
+        assert np.allclose(
+            restored.mean_inefficiency, sample_grid.mean_inefficiency, equal_nan=True
+        )
+
+    def test_empty_csv_rejected(self):
+        with pytest.raises(ValueError):
+            grid_from_csv("# label: x\n# runs: 1\np,q,mean_inefficiency,mean_received_ratio,failures,runs\n")
+
+
+class TestCompareAtPoint:
+    def test_small_comparison(self):
+        result = compare_at_point(
+            0.01, 0.8, expansion_ratio=2.5, k=200,
+            codes=("rse", "ldgm-staircase"),
+            tx_models=("tx_model_2", "tx_model_5"),
+            runs=3, seed=1,
+        )
+        assert set(result.values) == {"tx_model_2", "tx_model_5"}
+        for tx_model, row in result.values.items():
+            assert set(row) == {"rse", "ldgm-staircase"}
+        tx_best, code_best, value = result.best()
+        assert value >= 1.0
+
+    def test_tx_model_6_skipped_at_small_ratio(self):
+        result = compare_at_point(
+            0.01, 0.8, expansion_ratio=1.5, k=150,
+            codes=("ldgm-staircase",), tx_models=("tx_model_6",), runs=1, seed=0,
+        )
+        assert result.values == {}
+        with pytest.raises(ValueError):
+            result.best()
+
+
+class TestPaperData:
+    def test_all_nine_tables_present(self):
+        assert {f"table{i}" for i in range(1, 10)} <= set(PAPER_TABLES)
+
+    def test_reference_points_within_range(self):
+        for summary in PAPER_TABLES.values():
+            low, high = summary.value_range
+            assert low <= high
+            for value in summary.reference_points.values():
+                assert low - 1e-9 <= value <= high + 1e-9 or value == 1.0
+
+    def test_lookup_helpers(self):
+        assert get_table_summary("TABLE5").code == "ldgm-triangle"
+        with pytest.raises(KeyError):
+            get_table_summary("table99")
+
+    def test_figure15_reference_structure(self):
+        assert set(FIGURE15_REFERENCE) == {1.5, 2.5}
+        assert "tx_model_4" in FIGURE15_REFERENCE[2.5]
+
+
+class TestRecommendationReport:
+    def test_unknown_channel_report(self):
+        report = recommendation_report()
+        assert "unknown" in report.lower()
+        assert "ldgm-triangle + tx_model_4" in report
+
+    def test_known_channel_report(self):
+        report = recommendation_report(0.01, 0.8, k=200, runs=2, seed=3, top=3)
+        assert "Gilbert p=0.0100" in report
+        assert "1." in report

@@ -1,0 +1,83 @@
+"""Unit tests for the analytic decodability limits (figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.limits import (
+    decodable_region,
+    expected_received_fraction,
+    is_decodable,
+    minimum_q_for_decoding,
+)
+
+
+class TestExpectedReceivedFraction:
+    def test_no_loss(self):
+        assert expected_received_fraction(0.0, 0.5, 2.5) == pytest.approx(2.5)
+
+    def test_half_loss(self):
+        assert expected_received_fraction(0.5, 0.5, 2.0) == pytest.approx(1.0)
+
+    def test_invalid_nsent_rejected(self):
+        with pytest.raises(ValueError):
+            expected_received_fraction(0.1, 0.5, 0.0)
+
+
+class TestMinimumQ:
+    def test_paper_formula(self):
+        # q = p * inef / (nsent/k - inef); ratio 2.5, inef 1 -> q = p / 1.5.
+        assert minimum_q_for_decoding(0.3, 2.5) == pytest.approx(0.3 / 1.5)
+        assert minimum_q_for_decoding(0.3, 1.5) == pytest.approx(0.3 / 0.5)
+
+    def test_p_zero_needs_no_q(self):
+        assert minimum_q_for_decoding(0.0, 1.5) == 0.0
+
+    def test_clipped_to_one(self):
+        assert minimum_q_for_decoding(1.0, 1.5) == 1.0
+
+    def test_sending_too_few_packets_is_hopeless(self):
+        assert minimum_q_for_decoding(0.2, 2.5, nsent_over_k=1.0) == float("inf")
+
+    def test_larger_inefficiency_raises_the_limit(self):
+        ideal = minimum_q_for_decoding(0.3, 2.5, inef_ratio=1.0)
+        lossy = minimum_q_for_decoding(0.3, 2.5, inef_ratio=1.2)
+        assert lossy > ideal
+
+    def test_cannot_send_more_than_n(self):
+        with pytest.raises(ValueError):
+            minimum_q_for_decoding(0.3, 1.5, nsent_over_k=2.0)
+
+    def test_invalid_inefficiency_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_q_for_decoding(0.3, 1.5, inef_ratio=0.9)
+
+
+class TestIsDecodableAndRegion:
+    def test_ratio_2_5_wider_than_1_5(self):
+        # Figure 6: the non-decodable area is larger for the smaller ratio.
+        p_values = np.linspace(0, 1, 11)
+        q_values = np.linspace(0, 1, 11)
+        region_15 = decodable_region(p_values, q_values, 1.5)
+        region_25 = decodable_region(p_values, q_values, 2.5)
+        assert region_25.sum() > region_15.sum()
+        # Whatever is decodable at 1.5 is decodable at 2.5.
+        assert np.all(region_25[region_15])
+
+    def test_perfect_channel_always_decodable(self):
+        assert is_decodable(0.0, 0.0, 1.5)
+
+    def test_uncorrelated_high_loss_not_decodable_at_small_ratio(self):
+        # p = 0.6, q = 0.4 -> 60% loss; ratio 1.5 cannot cope on average.
+        assert not is_decodable(0.6, 0.4, 1.5)
+        assert is_decodable(0.2, 0.8, 1.5)
+
+    def test_region_shape(self):
+        region = decodable_region([0.0, 0.5], [0.1, 0.9, 1.0], 2.5)
+        assert region.shape == (2, 3)
+
+    def test_monotone_in_q(self):
+        p = 0.4
+        flags = [is_decodable(p, q, 1.5) for q in np.linspace(0, 1, 21)]
+        # Once decodable, it stays decodable as q grows.
+        first_true = flags.index(True) if True in flags else len(flags)
+        assert all(flags[first_true:])

@@ -1,0 +1,113 @@
+"""Unit tests for Bernoulli, perfect, trace and periodic-burst channels."""
+
+import numpy as np
+import pytest
+
+from repro.channel import BernoulliChannel, PerfectChannel, PeriodicBurstChannel, TraceChannel
+from repro.channel.trace import fit_gilbert_parameters
+
+
+class TestBernoulli:
+    def test_loss_rate_property(self):
+        assert BernoulliChannel(0.25).global_loss_probability == 0.25
+
+    def test_zero_and_one_rates(self, rng):
+        assert not BernoulliChannel(0.0).loss_mask(100, rng).any()
+        assert BernoulliChannel(1.0).loss_mask(100, rng).all()
+
+    def test_empirical_rate(self, rng):
+        mask = BernoulliChannel(0.3).loss_mask(100_000, rng)
+        assert mask.mean() == pytest.approx(0.3, abs=0.01)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliChannel(1.2)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BernoulliChannel(0.5).loss_mask(-5, rng)
+
+
+class TestPerfect:
+    def test_never_loses(self, rng):
+        channel = PerfectChannel()
+        assert channel.global_loss_probability == 0.0
+        assert not channel.loss_mask(1000, rng).any()
+
+    def test_repr(self):
+        assert repr(PerfectChannel()) == "PerfectChannel()"
+
+
+class TestTrace:
+    def test_replays_trace(self):
+        trace = [0, 1, 1, 0, 0]
+        channel = TraceChannel(trace)
+        mask = channel.loss_mask(5)
+        assert mask.tolist() == [False, True, True, False, False]
+
+    def test_cyclic_wrapping(self):
+        channel = TraceChannel([1, 0])
+        mask = channel.loss_mask(6)
+        assert mask.tolist() == [True, False] * 3
+
+    def test_non_cyclic_padding(self):
+        channel = TraceChannel([1, 1], cyclic=False)
+        mask = channel.loss_mask(5)
+        assert mask.tolist() == [True, True, False, False, False]
+
+    def test_global_loss_probability(self):
+        assert TraceChannel([1, 0, 0, 0]).global_loss_probability == 0.25
+
+    def test_random_offset_changes_start(self, rng):
+        channel = TraceChannel([1] + [0] * 99, random_offset=True)
+        masks = {tuple(channel.loss_mask(10, rng)) for _ in range(20)}
+        assert len(masks) > 1
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceChannel([])
+
+    def test_fit_gilbert_parameters_roundtrip(self, rng):
+        from repro.channel import GilbertChannel
+
+        channel = GilbertChannel(0.05, 0.4)
+        trace = channel.loss_mask(300_000, rng)
+        p, q = fit_gilbert_parameters(trace)
+        assert p == pytest.approx(0.05, abs=0.01)
+        assert q == pytest.approx(0.4, abs=0.03)
+
+    def test_fit_requires_two_packets(self):
+        with pytest.raises(ValueError):
+            fit_gilbert_parameters([1])
+
+    def test_fit_degenerate_traces(self):
+        p, q = fit_gilbert_parameters([0, 0, 0, 0])
+        assert p == 0.0 and q == 1.0
+        p, q = fit_gilbert_parameters([1, 1, 1, 1])
+        assert p == 0.0 and q == 0.0
+
+
+class TestPeriodicBurst:
+    def test_pattern(self):
+        channel = PeriodicBurstChannel(period=5, burst_length=2)
+        mask = channel.loss_mask(10)
+        assert mask.tolist() == [True, True, False, False, False] * 2
+
+    def test_offset(self):
+        channel = PeriodicBurstChannel(period=4, burst_length=1, offset=2)
+        mask = channel.loss_mask(8)
+        assert mask.tolist() == [False, False, True, False] * 2
+
+    def test_global_loss_probability(self):
+        assert PeriodicBurstChannel(10, 3).global_loss_probability == pytest.approx(0.3)
+
+    def test_zero_burst(self):
+        assert not PeriodicBurstChannel(5, 0).loss_mask(20).any()
+
+    def test_burst_longer_than_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicBurstChannel(5, 6)
+
+    def test_negative_burst_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicBurstChannel(5, -1)

@@ -1,0 +1,149 @@
+"""Unit tests for SimulationConfig and the metric containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.metrics import CellStats, GridResult, RunResult, SeriesResult
+from repro.fec import LDGMTriangleCode, ReedSolomonCode
+from repro.scheduling import TxModel2
+
+
+class TestSimulationConfig:
+    def test_defaults_and_n(self):
+        config = SimulationConfig(k=100, expansion_ratio=2.5)
+        assert config.n == 250
+        assert "ldgm-staircase" in config.display_label
+
+    def test_build_code_and_tx_model(self):
+        config = SimulationConfig(code="rse", tx_model="tx_model_2", k=100, expansion_ratio=2.5)
+        assert isinstance(config.build_code(seed=0), ReedSolomonCode)
+        assert isinstance(config.build_tx_model(), TxModel2)
+
+    def test_code_options_forwarded(self):
+        config = SimulationConfig(
+            code="rse", k=400, expansion_ratio=2.0, code_options={"max_block_size": 64}
+        )
+        code = config.build_code()
+        assert code.partition.max_block_n <= 64
+
+    def test_tx_options_forwarded(self):
+        config = SimulationConfig(
+            tx_model="tx_model_6", k=100, expansion_ratio=2.5, tx_options={"source_fraction": 0.4}
+        )
+        assert config.build_tx_model().source_fraction == 0.4
+
+    def test_unknown_names_rejected_eagerly(self):
+        with pytest.raises(KeyError):
+            SimulationConfig(code="nope", k=10, expansion_ratio=2.0)
+        with pytest.raises(KeyError):
+            SimulationConfig(tx_model="nope", k=10, expansion_ratio=2.0)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(k=0, expansion_ratio=2.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(k=10, expansion_ratio=1.0)
+
+    def test_with_updates(self):
+        config = SimulationConfig(k=100, expansion_ratio=2.5)
+        larger = config.with_updates(k=500)
+        assert larger.k == 500 and config.k == 100
+
+    def test_custom_label(self):
+        config = SimulationConfig(k=100, expansion_ratio=2.5, label="my run")
+        assert config.display_label == "my run"
+
+
+class TestRunResult:
+    def test_successful_run(self):
+        result = RunResult(decoded=True, n_necessary=1100, n_received=2000, n_sent=2500, k=1000, n=2500)
+        assert result.inefficiency_ratio == pytest.approx(1.1)
+        assert result.received_ratio == pytest.approx(2.0)
+        assert result.loss_fraction == pytest.approx(0.2)
+        assert result.excess_packets == 900
+
+    def test_failed_run(self):
+        result = RunResult(decoded=False, n_necessary=None, n_received=900, n_sent=2500, k=1000, n=2500)
+        assert np.isnan(result.inefficiency_ratio)
+        assert result.excess_packets is None
+
+    def test_zero_sent(self):
+        result = RunResult(decoded=False, n_necessary=None, n_received=0, n_sent=0, k=10, n=25)
+        assert result.loss_fraction == 0.0
+
+
+class TestCellStats:
+    def test_all_success_aggregation(self):
+        stats = CellStats()
+        for necessary in (1050, 1100):
+            stats.add(RunResult(True, necessary, 2000, 2500, 1000, 2500))
+        assert stats.all_decoded
+        assert stats.mean_inefficiency == pytest.approx(1.075)
+        assert stats.mean_received_ratio == pytest.approx(2.0)
+
+    def test_single_failure_poisons_the_cell(self):
+        stats = CellStats()
+        stats.add(RunResult(True, 1050, 2000, 2500, 1000, 2500))
+        stats.add(RunResult(False, None, 900, 2500, 1000, 2500))
+        assert not stats.all_decoded
+        assert np.isnan(stats.mean_inefficiency)
+        # The successes-only mean is still available for diagnostics.
+        assert stats.mean_inefficiency_of_successes == pytest.approx(1.05)
+
+    def test_empty_cell(self):
+        stats = CellStats()
+        assert not stats.all_decoded
+        assert np.isnan(stats.mean_inefficiency)
+
+
+class TestGridResult:
+    def make_grid(self):
+        return GridResult(
+            p_values=[0.0, 0.1],
+            q_values=[0.5, 1.0],
+            mean_inefficiency=np.array([[1.0, 1.1], [np.nan, 1.2]]),
+            mean_received_ratio=np.array([[2.5, 2.5], [1.0, 2.0]]),
+            failure_counts=np.array([[0, 0], [3, 0]]),
+            runs=3,
+            label="test",
+        )
+
+    def test_masks_and_coverage(self):
+        grid = self.make_grid()
+        assert grid.shape == (2, 2)
+        assert grid.decodable_mask.tolist() == [[True, True], [False, True]]
+        assert grid.coverage == pytest.approx(0.75)
+
+    def test_extrema(self):
+        grid = self.make_grid()
+        assert grid.min_inefficiency() == pytest.approx(1.0)
+        assert grid.max_inefficiency() == pytest.approx(1.2)
+        assert grid.mean_over_decodable() == pytest.approx(1.1)
+
+    def test_value_at_nearest_point(self):
+        grid = self.make_grid()
+        assert grid.value_at(0.11, 0.95) == pytest.approx(1.2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GridResult(
+                p_values=[0.0, 0.1],
+                q_values=[0.5],
+                mean_inefficiency=np.zeros((2, 2)),
+                mean_received_ratio=np.zeros((2, 1)),
+                failure_counts=np.zeros((2, 1)),
+                runs=1,
+            )
+
+
+class TestSeriesResult:
+    def test_best_parameter_skips_failures(self):
+        series = SeriesResult(
+            parameter_name="x",
+            parameter_values=np.array([1.0, 2.0, 3.0]),
+            mean_inefficiency=np.array([1.05, 1.01, 1.2]),
+            failure_counts=np.array([0, 2, 0]),
+            runs=3,
+        )
+        assert series.best_parameter() == 1.0

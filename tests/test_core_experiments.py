@@ -1,0 +1,76 @@
+"""Unit tests for the experiment presets."""
+
+import pytest
+
+from repro.core.experiments import (
+    EXPERIMENTS,
+    SCALES,
+    TABLE_TO_EXPERIMENT,
+    get_experiment,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_every_paper_figure_has_a_preset(self):
+        for figure in ("fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"):
+            assert figure in EXPERIMENTS
+
+    def test_every_appendix_table_maps_to_an_experiment(self):
+        for table in (f"table{i}" for i in range(1, 10)):
+            assert table in TABLE_TO_EXPERIMENT
+            assert TABLE_TO_EXPERIMENT[table][0] in EXPERIMENTS
+
+    def test_get_experiment_accepts_table_ids(self):
+        assert get_experiment("table5").experiment_id == "fig11"
+        assert get_experiment("FIG09").experiment_id == "fig09"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_scales_defined(self):
+        assert set(SCALES) == {"tiny", "small", "paper"}
+        assert SCALES["paper"].k == 20000
+        assert SCALES["paper"].runs == 100
+        assert len(SCALES["paper"].grid_percent) == 14
+
+    def test_scaled_configs_replace_k(self):
+        spec = get_experiment("fig09")
+        configs = spec.scaled_configs(SCALES["tiny"])
+        assert all(config.k == SCALES["tiny"].k for config in configs)
+
+    def test_fig09_covers_all_codes_and_ratios(self):
+        spec = get_experiment("fig09")
+        codes = {config.code for config in spec.configs}
+        ratios = {config.expansion_ratio for config in spec.configs}
+        assert codes == {"rse", "ldgm-staircase", "ldgm-triangle"}
+        assert ratios == {1.5, 2.5}
+
+    def test_fig13_uses_tx_model_6_at_ratio_2_5(self):
+        spec = get_experiment("fig13")
+        assert all(config.tx_model == "tx_model_6" for config in spec.configs)
+        assert all(config.expansion_ratio == 2.5 for config in spec.configs)
+
+
+class TestRunExperiment:
+    def test_run_tiny_experiment(self):
+        results = run_experiment("fig07", scale="tiny", seed=1, runs=2)
+        assert len(results) == 1
+        grid = next(iter(results.values()))
+        assert grid.shape == (len(SCALES["tiny"].grid_percent),) * 2
+        # Figure 7's headline: with repetition instead of FEC, only the
+        # p = 0 row decodes reliably.
+        assert grid.decodable_mask[0].all()
+        assert not grid.decodable_mask[1:].any()
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig09", scale="enormous")
+
+    def test_custom_scale_object(self):
+        from repro.core.experiments import ExperimentScale
+
+        scale = ExperimentScale(name="custom", k=150, runs=1, grid_percent=(0, 50))
+        results = run_experiment("fig12", scale=scale, seed=0)
+        assert all(grid.shape == (2, 2) for grid in results.values())

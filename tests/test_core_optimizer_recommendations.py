@@ -1,0 +1,106 @@
+"""Unit tests for the n_sent optimiser and the recommendation engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import (
+    optimal_nsent,
+    optimal_nsent_for_object,
+    worked_example_section_6_2_1,
+)
+from repro.core.recommendations import (
+    DEFAULT_CANDIDATES,
+    recommend_for_channel,
+    universal_recommendations,
+)
+
+
+class TestOptimalNsent:
+    def test_no_loss_no_margin(self):
+        plan = optimal_nsent(1000, 1.0, 0.0, expansion_ratio=2.5, margin_fraction=0.0)
+        assert plan.nsent == 1000
+        assert plan.nsent_with_margin == 1000
+        assert plan.saved_packets == 1500
+
+    def test_loss_increases_nsent(self):
+        lossless = optimal_nsent(1000, 1.1, 0.0, expansion_ratio=2.5)
+        lossy = optimal_nsent(1000, 1.1, 0.3, expansion_ratio=2.5)
+        assert lossy.nsent > lossless.nsent
+
+    def test_capped_at_n(self):
+        plan = optimal_nsent(1000, 1.4, 0.6, expansion_ratio=1.5)
+        assert plan.nsent == 1500
+        assert plan.nsent_with_margin == 1500
+        assert plan.saved_packets == 0
+
+    def test_margin_applied(self):
+        plan = optimal_nsent(1000, 1.0, 0.0, expansion_ratio=2.5, margin_fraction=0.2)
+        assert plan.nsent_with_margin == 1200
+
+    def test_saved_fraction(self):
+        plan = optimal_nsent(1000, 1.0, 0.0, expansion_ratio=2.0, margin_fraction=0.0)
+        assert plan.saved_fraction == pytest.approx(0.5)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_nsent(1000, 0.9, 0.1, expansion_ratio=2.5)
+        with pytest.raises(ValueError):
+            optimal_nsent(1000, 1.1, 1.0, expansion_ratio=2.5)
+
+    def test_for_object_helper(self):
+        plan = optimal_nsent_for_object(
+            1_000_000, 1000, 1.05, 0.01, 0.8, expansion_ratio=1.5
+        )
+        assert plan.k == 1000
+        assert plan.nsent >= 1050
+
+
+class TestWorkedExample:
+    def test_matches_paper_numbers(self):
+        """Section 6.2.1: ~50 041 packets needed, ~55 000 with margin, out of ~73 243."""
+        plan = worked_example_section_6_2_1()
+        assert plan.k == 48829
+        assert plan.n == pytest.approx(73243, abs=2)
+        assert plan.nsent == pytest.approx(50041, abs=5)
+        assert plan.nsent_with_margin == pytest.approx(55000, rel=0.01)
+        assert plan.saved_packets > 18000
+
+
+class TestRecommendations:
+    def test_universal_recommendations_match_paper(self):
+        recommendations = universal_recommendations()
+        pairs = {(rec.code, rec.tx_model) for rec in recommendations}
+        assert ("ldgm-triangle", "tx_model_4") in pairs
+        assert ("ldgm-staircase", "tx_model_6") in pairs
+        assert ("rse", "tx_model_5") in pairs
+        assert all(rec.describe() for rec in recommendations)
+
+    def test_recommend_for_known_channel(self):
+        recommendations = recommend_for_channel(
+            0.01, 0.8, k=300, runs=3, seed=1, expansion_ratios=(1.5, 2.5)
+        )
+        assert len(recommendations) == len(DEFAULT_CANDIDATES) * 2
+        best = recommendations[0]
+        assert best.reliable
+        assert best.mean_inefficiency < 1.2
+        # Reliable recommendations are sorted by increasing inefficiency.
+        reliable = [rec for rec in recommendations if rec.reliable]
+        values = [rec.mean_inefficiency for rec in reliable]
+        assert values == sorted(values)
+
+    def test_nsent_plan_attached_to_reliable_recommendations(self):
+        recommendations = recommend_for_channel(0.01, 0.8, k=300, runs=3, seed=1)
+        for recommendation in recommendations:
+            if recommendation.reliable:
+                assert recommendation.nsent_plan is not None
+                assert recommendation.nsent_plan.nsent <= recommendation.nsent_plan.n
+
+    def test_hopeless_channel_yields_unreliable_recommendations(self):
+        recommendations = recommend_for_channel(
+            0.9, 0.05, k=200, runs=2, seed=1, expansion_ratios=(1.5,)
+        )
+        assert all(not rec.reliable for rec in recommendations)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            recommend_for_channel(1.5, 0.5)

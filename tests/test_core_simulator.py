@@ -1,0 +1,114 @@
+"""Unit tests for the single-run simulator."""
+
+import numpy as np
+import pytest
+
+from repro.channel import BernoulliChannel, GilbertChannel, PerfectChannel, PeriodicBurstChannel
+from repro.core.config import SimulationConfig
+from repro.core.simulator import Simulator, simulate_once
+from repro.fec import make_code
+from repro.scheduling import make_tx_model
+
+
+class TestSimulator:
+    def test_perfect_channel_tx1_is_ideal(self):
+        """Sending source packets first over a perfect channel needs exactly k."""
+        code = make_code("ldgm-staircase", k=100, expansion_ratio=2.5, seed=0)
+        simulator = Simulator(code, make_tx_model("tx_model_1"), PerfectChannel())
+        result = simulator.run(np.random.default_rng(0))
+        assert result.decoded
+        assert result.n_necessary == 100
+        assert result.inefficiency_ratio == pytest.approx(1.0)
+
+    def test_all_lost_fails(self):
+        code = make_code("ldgm-staircase", k=50, expansion_ratio=2.5, seed=0)
+        simulator = Simulator(code, make_tx_model("tx_model_1"), BernoulliChannel(1.0))
+        result = simulator.run(np.random.default_rng(0))
+        assert not result.decoded
+        assert result.n_received == 0
+        assert np.isnan(result.inefficiency_ratio)
+
+    def test_nsent_truncation(self):
+        code = make_code("ldgm-staircase", k=50, expansion_ratio=2.5, seed=0)
+        simulator = Simulator(code, make_tx_model("tx_model_1"), PerfectChannel())
+        result = simulator.run(np.random.default_rng(0), nsent=60)
+        assert result.n_sent == 60
+        assert result.decoded
+
+    def test_nsent_too_small_fails(self):
+        code = make_code("ldgm-staircase", k=50, expansion_ratio=2.5, seed=0)
+        simulator = Simulator(code, make_tx_model("tx_model_1"), PerfectChannel())
+        result = simulator.run(np.random.default_rng(0), nsent=30)
+        assert not result.decoded
+
+    def test_invalid_nsent_rejected(self):
+        code = make_code("ldgm-staircase", k=50, expansion_ratio=2.5, seed=0)
+        simulator = Simulator(code, make_tx_model("tx_model_1"), PerfectChannel())
+        with pytest.raises(ValueError):
+            simulator.run(np.random.default_rng(0), nsent=0)
+
+    def test_counts_are_consistent(self):
+        code = make_code("ldgm-triangle", k=100, expansion_ratio=2.5, seed=1)
+        simulator = Simulator(code, make_tx_model("tx_model_4"), GilbertChannel(0.05, 0.5))
+        result = simulator.run(np.random.default_rng(3))
+        assert result.n_sent == 250
+        assert result.n_received <= result.n_sent
+        if result.decoded:
+            assert result.k <= result.n_necessary <= result.n_received
+
+    def test_default_channel_is_perfect(self):
+        code = make_code("rse", k=50, expansion_ratio=2.0, seed=0)
+        simulator = Simulator(code, make_tx_model("tx_model_4"))
+        result = simulator.run(np.random.default_rng(0))
+        assert result.n_received == result.n_sent
+
+    def test_run_many_returns_independent_results(self):
+        code = make_code("ldgm-staircase", k=100, expansion_ratio=2.5, seed=0)
+        simulator = Simulator(code, make_tx_model("tx_model_4"), BernoulliChannel(0.2))
+        results = simulator.run_many(5, np.random.default_rng(1))
+        assert len(results) == 5
+        assert len({result.n_necessary for result in results}) > 1
+
+    def test_deterministic_given_seed(self):
+        code = make_code("ldgm-staircase", k=100, expansion_ratio=2.5, seed=0)
+        channel = GilbertChannel(0.1, 0.5)
+        simulator = Simulator(code, make_tx_model("tx_model_4"), channel)
+        first = simulator.run(np.random.default_rng(42))
+        second = simulator.run(np.random.default_rng(42))
+        assert first == second
+
+    def test_periodic_burst_channel_integration(self):
+        """A deterministic burst channel gives a fully reproducible run."""
+        code = make_code("rse", k=100, expansion_ratio=2.5, seed=0)
+        channel = PeriodicBurstChannel(period=10, burst_length=2)
+        simulator = Simulator(code, make_tx_model("tx_model_5"), channel)
+        result = simulator.run(np.random.default_rng(0))
+        assert result.decoded
+        assert result.n_received == result.n_sent * 8 // 10
+
+
+class TestSimulateOnce:
+    def test_with_gilbert_parameters(self, small_staircase_config):
+        result = simulate_once(small_staircase_config, p=0.05, q=0.5, seed=3)
+        assert result.decoded
+
+    def test_with_channel_object(self, small_staircase_config):
+        result = simulate_once(small_staircase_config, channel=BernoulliChannel(0.1), seed=3)
+        assert result.decoded
+
+    def test_defaults_to_perfect_channel(self, small_staircase_config):
+        result = simulate_once(small_staircase_config, seed=3)
+        assert result.n_received == result.n_sent
+
+    def test_rejects_both_channel_and_parameters(self, small_staircase_config):
+        with pytest.raises(ValueError):
+            simulate_once(small_staircase_config, p=0.1, q=0.5, channel=PerfectChannel())
+
+    def test_rejects_partial_parameters(self, small_staircase_config):
+        with pytest.raises(ValueError):
+            simulate_once(small_staircase_config, p=0.1)
+
+    def test_respects_config_nsent(self, small_staircase_config):
+        config = small_staircase_config.with_updates(nsent=220, tx_model="tx_model_1")
+        result = simulate_once(config, seed=1)
+        assert result.n_sent == 220

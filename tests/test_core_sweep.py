@@ -1,0 +1,109 @@
+"""Unit tests for grid and parameter sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.sweep import simulate_grid, sweep_parameter
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    config = SimulationConfig(code="ldgm-staircase", tx_model="tx_model_2", k=200, expansion_ratio=2.5)
+    return simulate_grid(
+        config,
+        p_values=[0.0, 0.05, 0.3],
+        q_values=[0.2, 0.6, 1.0],
+        runs=3,
+        seed=7,
+    )
+
+
+class TestSimulateGrid:
+    def test_shapes_and_metadata(self, small_grid):
+        assert small_grid.shape == (3, 3)
+        assert small_grid.runs == 3
+        assert small_grid.metadata["code"] == "ldgm-staircase"
+        assert small_grid.metadata["k"] == 200
+
+    def test_perfect_row_is_ideal(self, small_grid):
+        # p = 0 -> no loss -> source packets arrive first -> inefficiency 1.0.
+        assert np.allclose(small_grid.mean_inefficiency[0], 1.0)
+        assert np.all(small_grid.failure_counts[0] == 0)
+
+    def test_received_ratio_bounded_by_expansion(self, small_grid):
+        finite = small_grid.mean_received_ratio[np.isfinite(small_grid.mean_received_ratio)]
+        assert np.all(finite <= 2.5 + 1e-9)
+
+    def test_inefficiency_at_least_one(self, small_grid):
+        finite = small_grid.mean_inefficiency[np.isfinite(small_grid.mean_inefficiency)]
+        assert np.all(finite >= 1.0 - 1e-9)
+
+    def test_failed_cells_reported_as_nan(self, small_grid):
+        failures = small_grid.failure_counts > 0
+        assert np.all(np.isnan(small_grid.mean_inefficiency[failures]))
+
+    def test_reproducible_for_same_seed(self):
+        config = SimulationConfig(code="ldgm-staircase", tx_model="tx_model_4", k=150, expansion_ratio=2.5)
+        first = simulate_grid(config, [0.05], [0.5], runs=3, seed=11)
+        second = simulate_grid(config, [0.05], [0.5], runs=3, seed=11)
+        assert np.array_equal(first.mean_inefficiency, second.mean_inefficiency, equal_nan=True)
+
+    def test_different_seed_changes_results(self):
+        config = SimulationConfig(code="ldgm-staircase", tx_model="tx_model_4", k=150, expansion_ratio=2.5)
+        first = simulate_grid(config, [0.05], [0.5], runs=3, seed=11)
+        second = simulate_grid(config, [0.05], [0.5], runs=3, seed=12)
+        assert not np.array_equal(first.mean_inefficiency, second.mean_inefficiency, equal_nan=True)
+
+    def test_default_grid_is_papers(self):
+        config = SimulationConfig(code="rse", tx_model="tx_model_5", k=100, expansion_ratio=2.5)
+        grid = simulate_grid(config, runs=1, seed=0)
+        assert grid.shape == (14, 14)
+
+    def test_progress_callback_invoked(self):
+        config = SimulationConfig(code="rse", tx_model="tx_model_5", k=100, expansion_ratio=2.5)
+        calls = []
+        simulate_grid(
+            config, [0.0, 0.1], [0.5], runs=1, seed=0, progress=lambda done, total: calls.append((done, total))
+        )
+        assert calls == [(1, 2), (2, 2)]
+
+    def test_fresh_code_per_run(self):
+        config = SimulationConfig(code="ldgm-staircase", tx_model="tx_model_4", k=150, expansion_ratio=2.5)
+        grid = simulate_grid(config, [0.05], [0.5], runs=2, seed=3, fresh_code_per_run=True)
+        assert np.isfinite(grid.mean_inefficiency).all()
+
+    def test_invalid_runs_rejected(self):
+        config = SimulationConfig(k=100, expansion_ratio=2.5)
+        with pytest.raises(ValueError):
+            simulate_grid(config, [0.0], [0.5], runs=0)
+
+
+class TestSweepParameter:
+    def test_rx_model_sweep(self):
+        def make_config(num_source):
+            return SimulationConfig(
+                code="ldgm-staircase",
+                tx_model="rx_model_1",
+                k=300,
+                expansion_ratio=2.5,
+                tx_options={"num_source_packets": int(num_source)},
+            )
+
+        series = sweep_parameter(
+            make_config,
+            [1, 10, 50],
+            parameter_name="received source packets",
+            p=0.0,
+            q=1.0,
+            runs=3,
+            seed=5,
+        )
+        assert series.parameter_values.tolist() == [1.0, 10.0, 50.0]
+        assert series.mean_inefficiency.shape == (3,)
+        assert np.all(series.failure_counts == 0)
+        assert np.all(series.mean_inefficiency >= 1.0)
+
+    def test_invalid_runs_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_parameter(lambda value: SimulationConfig(k=10, expansion_ratio=2.0), [1.0], runs=0)

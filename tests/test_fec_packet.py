@@ -1,0 +1,107 @@
+"""Unit tests for packet/layout abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.fec.packet import (
+    BlockLayout,
+    Packet,
+    PacketKind,
+    PacketLayout,
+    multi_block_layout,
+    single_block_layout,
+)
+
+
+class TestPacket:
+    def test_source_and_parity_flags(self):
+        source = Packet(index=0, kind=PacketKind.SOURCE)
+        parity = Packet(index=10, kind=PacketKind.PARITY)
+        assert source.is_source and not source.is_parity
+        assert parity.is_parity and not parity.is_source
+
+
+class TestSingleBlockLayout:
+    def test_dimensions(self):
+        layout = single_block_layout(10, 25)
+        assert layout.k == 10
+        assert layout.n == 25
+        assert layout.num_blocks == 1
+        assert layout.expansion_ratio == 2.5
+
+    def test_index_partition(self):
+        layout = single_block_layout(10, 25)
+        assert layout.source_indices.tolist() == list(range(10))
+        assert layout.parity_indices.tolist() == list(range(10, 25))
+
+    def test_kind_of(self):
+        layout = single_block_layout(10, 25)
+        assert layout.kind_of(3) is PacketKind.SOURCE
+        assert layout.kind_of(20) is PacketKind.PARITY
+        assert layout.is_source(9) and not layout.is_source(10)
+
+    def test_kind_of_out_of_range(self):
+        layout = single_block_layout(10, 25)
+        with pytest.raises(IndexError):
+            layout.kind_of(25)
+
+
+class TestMultiBlockLayout:
+    def test_global_numbering(self):
+        layout = multi_block_layout([3, 3, 2], [5, 5, 4])
+        assert layout.k == 8
+        assert layout.n == 14
+        assert layout.num_blocks == 3
+        # Source packets of all blocks come first, in object order.
+        assert layout.source_indices.tolist() == list(range(8))
+        # Parity packets follow, block by block.
+        assert layout.blocks[0].parity_indices.tolist() == [8, 9]
+        assert layout.blocks[1].parity_indices.tolist() == [10, 11]
+        assert layout.blocks[2].parity_indices.tolist() == [12, 13]
+
+    def test_block_of(self):
+        layout = multi_block_layout([3, 3], [5, 5])
+        assert layout.block_of(0) == 0
+        assert layout.block_of(4) == 1
+        assert layout.block_of(6) == 0  # first parity packet of block 0
+        assert layout.block_of(9) == 1
+
+    def test_block_k_and_n(self):
+        layout = multi_block_layout([3, 2], [5, 4])
+        assert [block.k for block in layout.blocks] == [3, 2]
+        assert [block.n for block in layout.blocks] == [5, 4]
+
+    def test_all_indices_concatenation(self):
+        layout = multi_block_layout([2, 2], [4, 4])
+        assert layout.blocks[0].all_indices.tolist() == [0, 1, 4, 5]
+        assert layout.blocks[1].all_indices.tolist() == [2, 3, 6, 7]
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            multi_block_layout([3], [5, 5])
+        with pytest.raises(ValueError):
+            multi_block_layout([], [])
+
+    def test_block_without_parity_rejected(self):
+        with pytest.raises(ValueError):
+            multi_block_layout([3], [3])
+
+
+class TestLayoutValidation:
+    def test_inconsistent_totals_rejected(self):
+        block = BlockLayout(
+            block_id=0,
+            source_indices=np.arange(3),
+            parity_indices=np.arange(3, 5),
+        )
+        with pytest.raises(ValueError):
+            PacketLayout(k=4, n=5, blocks=(block,))
+
+    def test_invalid_dimensions_rejected(self):
+        block = BlockLayout(
+            block_id=0,
+            source_indices=np.arange(3),
+            parity_indices=np.arange(3, 5),
+        )
+        with pytest.raises(ValueError):
+            PacketLayout(k=0, n=5, blocks=(block,))

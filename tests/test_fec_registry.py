@@ -1,0 +1,62 @@
+"""Unit tests for the FEC code registry."""
+
+import pytest
+
+from repro.fec import (
+    LDGMStaircaseCode,
+    LDGMTriangleCode,
+    ReedSolomonCode,
+    available_codes,
+    make_code,
+)
+from repro.fec.registry import register_code, resolve_code_name
+
+
+class TestRegistry:
+    def test_all_paper_codes_registered(self):
+        names = available_codes()
+        for expected in ("rse", "ldgm", "ldgm-staircase", "ldgm-triangle", "repetition"):
+            assert expected in names
+
+    def test_make_code_by_ratio(self):
+        code = make_code("ldgm-staircase", k=100, expansion_ratio=1.5, seed=0)
+        assert isinstance(code, LDGMStaircaseCode)
+        assert code.k == 100 and code.n == 150
+
+    def test_make_code_by_n(self):
+        code = make_code("ldgm-triangle", k=100, n=230, seed=0)
+        assert isinstance(code, LDGMTriangleCode)
+        assert code.n == 230
+
+    def test_aliases_resolve(self):
+        assert resolve_code_name("Reed-Solomon") == "rse"
+        assert resolve_code_name("staircase") == "ldgm-staircase"
+        assert resolve_code_name("TRIANGLE") == "ldgm-triangle"
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(KeyError):
+            make_code("totally-unknown", k=10, expansion_ratio=2.0)
+
+    def test_requires_exactly_one_size_argument(self):
+        with pytest.raises(ValueError):
+            make_code("rse", k=10)
+        with pytest.raises(ValueError):
+            make_code("rse", k=10, n=20, expansion_ratio=2.0)
+
+    def test_n_not_larger_than_k_rejected(self):
+        with pytest.raises(ValueError):
+            make_code("rse", k=10, n=10)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_code("rse", ReedSolomonCode)
+
+    def test_expansion_ratio_and_code_rate(self):
+        code = make_code("rse", k=100, expansion_ratio=2.5)
+        assert code.expansion_ratio == pytest.approx(2.5)
+        assert code.code_rate == pytest.approx(0.4)
+        assert code.is_mds
+
+    def test_repr_contains_dimensions(self):
+        code = make_code("ldgm", k=20, expansion_ratio=2.0, seed=0)
+        assert "k=20" in repr(code) and "n=40" in repr(code)

@@ -1,0 +1,45 @@
+"""Unit tests for the FLUTE byte-level blocking helpers."""
+
+import pytest
+
+from repro.flute.blocking import compute_blocking, reassemble_object, slice_object
+
+
+class TestComputeBlocking:
+    def test_exact_multiple(self):
+        blocking = compute_blocking(1024, 256)
+        assert blocking.num_symbols == 4
+        assert blocking.padding == 0
+        assert blocking.padded_length == 1024
+
+    def test_with_padding(self):
+        blocking = compute_blocking(1000, 256)
+        assert blocking.num_symbols == 4
+        assert blocking.padding == 24
+
+    def test_single_symbol(self):
+        blocking = compute_blocking(10, 256)
+        assert blocking.num_symbols == 1
+        assert blocking.padding == 246
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            compute_blocking(0, 256)
+        with pytest.raises(ValueError):
+            compute_blocking(100, 0)
+
+
+class TestSliceAndReassemble:
+    def test_roundtrip(self):
+        data = bytes(range(256)) * 5 + b"tail"
+        symbols = slice_object(data, 100)
+        assert all(len(symbol) == 100 for symbol in symbols)
+        assert reassemble_object(symbols, len(data)) == data
+
+    def test_padding_is_zeroes(self):
+        symbols = slice_object(b"abc", 8)
+        assert symbols == [b"abc\x00\x00\x00\x00\x00"]
+
+    def test_reassemble_with_too_few_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            reassemble_object([b"abc"], 100)

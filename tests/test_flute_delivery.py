@@ -1,0 +1,174 @@
+"""Integration tests for the FLUTE sender/receiver sessions."""
+
+import numpy as np
+import pytest
+
+from repro.channel import BernoulliChannel, GilbertChannel, PerfectChannel
+from repro.flute import FluteReceiver, FluteSender, deliver_object
+from repro.flute.sender import FDT_TOI
+
+
+@pytest.fixture
+def payload(rng):
+    return bytes(rng.integers(0, 256, size=20_000, dtype=np.uint8))
+
+
+class TestSender:
+    def test_rejects_empty_object(self):
+        with pytest.raises(ValueError):
+            FluteSender(b"", symbol_size=64)
+
+    def test_rejects_single_symbol_object(self):
+        with pytest.raises(ValueError):
+            FluteSender(b"tiny", symbol_size=1024)
+
+    def test_packet_stream_structure(self, payload):
+        sender = FluteSender(payload, symbol_size=512, code="ldgm-staircase",
+                             expansion_ratio=2.0, tx_model="tx_model_1", seed=1)
+        packets = list(sender.packets())
+        assert packets[0].is_fdt
+        data_packets = packets[1:]
+        assert len(data_packets) == sender.code.n
+        assert data_packets[-1].header.close_object
+        assert all(len(p.payload) == 512 for p in data_packets)
+
+    def test_nsent_truncates_stream(self, payload):
+        sender = FluteSender(payload, symbol_size=512, expansion_ratio=2.0, seed=1)
+        packets = list(sender.packets(nsent=10))
+        assert len([p for p in packets if not p.is_fdt]) == 10
+
+    def test_carousel_repeats_object(self, payload):
+        sender = FluteSender(payload, symbol_size=512, expansion_ratio=1.5, seed=1)
+        packets = list(sender.packets(carousel_cycles=2))
+        fdt_count = sum(1 for p in packets if p.is_fdt)
+        assert fdt_count == 2
+        assert len(packets) == 2 * (sender.code.n + 1)
+
+    def test_fdt_describes_the_object(self, payload):
+        sender = FluteSender(payload, symbol_size=512, code="ldgm-triangle",
+                             expansion_ratio=2.5, seed=3, content_location="data.bin")
+        fdt = sender.fdt_instance()
+        entry = fdt.get_file(sender.toi)
+        assert entry.content_length == len(payload)
+        assert entry.oti.code_name == "ldgm-triangle"
+        assert entry.oti.k == sender.code.k
+
+    def test_global_index_mapping_roundtrip(self, payload):
+        sender = FluteSender(payload, symbol_size=512, code="rse", expansion_ratio=2.0, seed=1)
+        for index in (0, 5, sender.code.k, sender.code.n - 1):
+            packet = sender.data_packet(index)
+            assert sender.global_index_of(packet.source_block_number, packet.encoding_symbol_id) == index
+
+    def test_invalid_index_rejected(self, payload):
+        sender = FluteSender(payload, symbol_size=512, expansion_ratio=1.5, seed=1)
+        with pytest.raises(IndexError):
+            sender.data_packet(sender.code.n)
+
+
+class TestReceiver:
+    @pytest.mark.parametrize("code", ["rse", "ldgm-staircase", "ldgm-triangle"])
+    def test_lossless_roundtrip(self, payload, code):
+        sender = FluteSender(payload, symbol_size=512, code=code, expansion_ratio=1.5,
+                             tx_model="tx_model_1", seed=2)
+        receiver = FluteReceiver()
+        for packet in sender.packets():
+            if receiver.feed(packet):
+                break
+        assert receiver.is_complete
+        assert receiver.object_data() == payload
+        assert receiver.inefficiency_ratio == pytest.approx(1.0)
+
+    def test_roundtrip_through_serialised_packets(self, payload):
+        sender = FluteSender(payload, symbol_size=512, code="ldgm-staircase",
+                             expansion_ratio=2.0, tx_model="tx_model_4", seed=4)
+        receiver = FluteReceiver()
+        for packet in sender.packets():
+            if receiver.feed_bytes(packet.to_bytes()):
+                break
+        assert receiver.is_complete and receiver.object_data() == payload
+
+    def test_data_before_fdt_is_buffered(self, payload):
+        sender = FluteSender(payload, symbol_size=512, expansion_ratio=1.5,
+                             tx_model="tx_model_1", seed=5)
+        packets = list(sender.packets())
+        fdt, data = packets[0], packets[1:]
+        receiver = FluteReceiver()
+        # Deliver a good chunk of data packets before the FDT arrives.
+        for packet in data[:20]:
+            receiver.feed(packet)
+        assert not receiver.is_complete
+        receiver.feed(fdt)
+        for packet in data[20:]:
+            if receiver.feed(packet):
+                break
+        assert receiver.is_complete and receiver.object_data() == payload
+
+    def test_other_sessions_ignored(self, payload):
+        sender = FluteSender(payload, symbol_size=512, expansion_ratio=1.5, tsi=9, seed=6)
+        receiver = FluteReceiver(tsi=1)
+        for packet in list(sender.packets())[:10]:
+            receiver.feed(packet)
+        assert receiver.ignored_packets == 10
+        assert receiver.packets_received == 0
+
+    def test_object_data_before_completion_rejected(self):
+        receiver = FluteReceiver()
+        with pytest.raises(RuntimeError):
+            receiver.object_data()
+
+    def test_reception_with_losses(self, payload, rng):
+        sender = FluteSender(payload, symbol_size=512, code="ldgm-staircase",
+                             expansion_ratio=2.5, tx_model="tx_model_4", seed=7)
+        channel = GilbertChannel(0.05, 0.5)
+        receiver = FluteReceiver()
+        packets = list(sender.packets())
+        receiver.feed(packets[0])
+        data_packets = packets[1:]
+        loss = channel.loss_mask(len(data_packets), rng)
+        for packet, lost in zip(data_packets, loss):
+            if not lost and receiver.feed(packet):
+                break
+        assert receiver.is_complete
+        assert receiver.object_data() == payload
+        assert receiver.inefficiency_ratio < 1.6
+
+
+class TestDeliverObject:
+    def test_delivery_over_lossy_channel(self, payload):
+        reports = deliver_object(
+            payload,
+            symbol_size=512,
+            channel=BernoulliChannel(0.15),
+            code="ldgm-staircase",
+            expansion_ratio=2.0,
+            tx_model="tx_model_4",
+            seed=1,
+            num_receivers=3,
+        )
+        assert len(reports) == 3
+        for report in reports:
+            assert report.complete and report.data_matches
+            assert 1.0 <= report.inefficiency_ratio <= 2.0
+            assert report.packets_received <= report.packets_sent
+
+    def test_delivery_fails_on_terrible_channel(self, payload):
+        reports = deliver_object(
+            payload,
+            symbol_size=512,
+            channel=GilbertChannel(0.9, 0.05),
+            code="ldgm-staircase",
+            expansion_ratio=1.5,
+            seed=1,
+        )
+        assert not reports[0].complete
+        assert np.isnan(reports[0].inefficiency_ratio)
+
+    def test_default_perfect_channel(self, payload):
+        reports = deliver_object(payload, symbol_size=512, expansion_ratio=1.5,
+                                 tx_model="tx_model_1", seed=1)
+        assert reports[0].complete
+        assert reports[0].loss_fraction == pytest.approx(0.0)
+
+    def test_invalid_receiver_count_rejected(self, payload):
+        with pytest.raises(ValueError):
+            deliver_object(payload, num_receivers=0)

@@ -1,0 +1,153 @@
+"""Unit tests for LCT headers, ALC packets, OTI and FDT instances."""
+
+import pytest
+
+from repro.fec import LDGMStaircaseCode, ReedSolomonCode
+from repro.flute.alc import AlcPacket
+from repro.flute.fdt import FdtInstance, FileEntry
+from repro.flute.lct import LctHeader
+from repro.flute.oti import FecObjectTransmissionInformation
+
+
+class TestLctHeader:
+    def test_roundtrip(self):
+        header = LctHeader(tsi=7, toi=42, close_object=True, is_fdt=False)
+        parsed = LctHeader.from_bytes(header.to_bytes())
+        assert parsed == header
+
+    def test_fdt_flag_roundtrip(self):
+        header = LctHeader(tsi=1, toi=0, is_fdt=True, close_session=True)
+        parsed = LctHeader.from_bytes(header.to_bytes())
+        assert parsed.is_fdt and parsed.close_session
+
+    def test_size_constant(self):
+        assert len(LctHeader(tsi=0, toi=0).to_bytes()) == LctHeader.SIZE == 12
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            LctHeader.from_bytes(b"\x01\x00")
+
+    def test_wrong_version_rejected(self):
+        data = bytearray(LctHeader(tsi=0, toi=0).to_bytes())
+        data[0] = 9
+        with pytest.raises(ValueError):
+            LctHeader.from_bytes(bytes(data))
+
+    def test_field_limits(self):
+        with pytest.raises(ValueError):
+            LctHeader(tsi=2**32, toi=0)
+        with pytest.raises(ValueError):
+            LctHeader(tsi=0, toi=-1)
+
+
+class TestAlcPacket:
+    def test_roundtrip(self):
+        packet = AlcPacket(
+            header=LctHeader(tsi=3, toi=5),
+            source_block_number=2,
+            encoding_symbol_id=17,
+            payload=b"hello world",
+        )
+        parsed = AlcPacket.from_bytes(packet.to_bytes())
+        assert parsed == packet
+        assert len(packet) == len(packet.to_bytes())
+
+    def test_empty_payload_roundtrip(self):
+        packet = AlcPacket(LctHeader(tsi=0, toi=1), 0, 0, b"")
+        assert AlcPacket.from_bytes(packet.to_bytes()).payload == b""
+
+    def test_truncated_packet_rejected(self):
+        packet = AlcPacket(LctHeader(tsi=0, toi=1), 0, 0, b"abc")
+        with pytest.raises(ValueError):
+            AlcPacket.from_bytes(packet.to_bytes()[: LctHeader.SIZE + 2])
+
+    def test_field_limits(self):
+        with pytest.raises(ValueError):
+            AlcPacket(LctHeader(tsi=0, toi=1), -1, 0, b"")
+
+
+class TestOti:
+    def test_dict_roundtrip(self):
+        oti = FecObjectTransmissionInformation(
+            code_name="ldgm-staircase", k=100, n=250, symbol_size=64,
+            object_length=6000, seed=1234,
+        )
+        assert FecObjectTransmissionInformation.from_dict(oti.to_dict()) == oti
+
+    def test_build_code_reconstructs_same_ldgm_matrix(self):
+        oti = FecObjectTransmissionInformation(
+            code_name="ldgm-staircase", k=50, n=125, symbol_size=64,
+            object_length=3000, seed=77,
+        )
+        first = oti.build_code()
+        second = oti.build_code()
+        assert isinstance(first, LDGMStaircaseCode)
+        for row in range(first.matrix.num_checks):
+            assert first.matrix.source_cols[row].tolist() == second.matrix.source_cols[row].tolist()
+
+    def test_build_code_rse_with_block_limit(self):
+        oti = FecObjectTransmissionInformation(
+            code_name="rse", k=100, n=200, symbol_size=64,
+            object_length=6400, max_block_size=64,
+        )
+        code = oti.build_code()
+        assert isinstance(code, ReedSolomonCode)
+        assert code.partition.max_block_n <= 64
+
+    def test_expansion_ratio(self):
+        oti = FecObjectTransmissionInformation("rse", 100, 250, 64, 6400)
+        assert oti.expansion_ratio == pytest.approx(2.5)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            FecObjectTransmissionInformation("rse", 0, 10, 64, 100)
+        with pytest.raises(ValueError):
+            FecObjectTransmissionInformation("rse", 10, 10, 64, 100)
+        with pytest.raises(ValueError):
+            FecObjectTransmissionInformation("rse", 10, 20, 0, 100)
+
+
+class TestFdt:
+    def make_entry(self, toi=1):
+        oti = FecObjectTransmissionInformation(
+            code_name="ldgm-triangle", k=20, n=50, symbol_size=32,
+            object_length=640, seed=5, max_block_size=None,
+        )
+        return FileEntry(toi=toi, content_location="movie.bin", content_length=640, oti=oti)
+
+    def test_xml_roundtrip(self):
+        fdt = FdtInstance(instance_id=3)
+        fdt.add_file(self.make_entry())
+        parsed = FdtInstance.from_xml(fdt.to_xml())
+        assert parsed.instance_id == 3
+        assert len(parsed) == 1
+        entry = parsed.get_file(1)
+        assert entry.content_location == "movie.bin"
+        assert entry.oti.code_name == "ldgm-triangle"
+        assert entry.oti.seed == 5
+
+    def test_multiple_files(self):
+        fdt = FdtInstance()
+        fdt.add_file(self.make_entry(toi=1))
+        fdt.add_file(self.make_entry(toi=2))
+        parsed = FdtInstance.from_xml(fdt.to_xml())
+        assert {entry.toi for entry in parsed} == {1, 2}
+
+    def test_duplicate_toi_rejected(self):
+        fdt = FdtInstance()
+        fdt.add_file(self.make_entry())
+        with pytest.raises(ValueError):
+            fdt.add_file(self.make_entry())
+
+    def test_unknown_toi_lookup_rejected(self):
+        with pytest.raises(KeyError):
+            FdtInstance().get_file(9)
+
+    def test_fdt_toi_zero_reserved(self):
+        oti = FecObjectTransmissionInformation("rse", 10, 20, 32, 320)
+        with pytest.raises(ValueError):
+            FileEntry(toi=0, content_location="x", content_length=320, oti=oti)
+
+    def test_non_fdt_xml_rejected(self):
+        with pytest.raises(ValueError):
+            FdtInstance.from_xml(b"<NotAnFdt/>")

@@ -1,0 +1,156 @@
+"""Unit tests for GF(2^8) element arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.galois.field import GF256, gf_add, gf_div, gf_inv, gf_mul, gf_pow
+from repro.galois.tables import EXP_TABLE, FIELD_SIZE, GROUP_ORDER, LOG_TABLE
+
+
+class TestTables:
+    def test_exp_table_covers_all_nonzero_elements(self):
+        values = set(int(v) for v in EXP_TABLE[:GROUP_ORDER])
+        assert values == set(range(1, FIELD_SIZE))
+
+    def test_exp_and_log_are_inverse(self):
+        for value in range(1, FIELD_SIZE):
+            assert EXP_TABLE[LOG_TABLE[value]] == value
+
+    def test_exp_table_periodicity(self):
+        assert np.array_equal(EXP_TABLE[:GROUP_ORDER], EXP_TABLE[GROUP_ORDER:])
+
+
+class TestAddition:
+    def test_add_is_xor(self):
+        assert gf_add(0b1010, 0b0110) == 0b1100
+
+    def test_add_self_is_zero(self):
+        values = np.arange(256, dtype=np.uint8)
+        assert np.all(gf_add(values, values) == 0)
+
+    def test_add_broadcasts(self):
+        result = gf_add(np.array([1, 2, 3], dtype=np.uint8), np.uint8(1))
+        assert result.tolist() == [0, 3, 2]
+
+
+class TestMultiplication:
+    def test_multiplication_by_zero(self):
+        values = np.arange(256, dtype=np.uint8)
+        assert np.all(gf_mul(values, np.uint8(0)) == 0)
+
+    def test_multiplication_by_one_is_identity(self):
+        values = np.arange(256, dtype=np.uint8)
+        assert np.array_equal(gf_mul(values, np.uint8(1)), values)
+
+    def test_known_product(self):
+        # 2 * 128 wraps through the primitive polynomial 0x11D: 0x100 ^ 0x11D = 0x1D.
+        assert int(gf_mul(2, 128)) == 0x1D
+
+    def test_commutativity_sample(self, rng):
+        a = rng.integers(0, 256, size=200).astype(np.uint8)
+        b = rng.integers(0, 256, size=200).astype(np.uint8)
+        assert np.array_equal(gf_mul(a, b), gf_mul(b, a))
+
+    def test_associativity_sample(self, rng):
+        a = rng.integers(0, 256, size=100).astype(np.uint8)
+        b = rng.integers(0, 256, size=100).astype(np.uint8)
+        c = rng.integers(0, 256, size=100).astype(np.uint8)
+        assert np.array_equal(gf_mul(gf_mul(a, b), c), gf_mul(a, gf_mul(b, c)))
+
+    def test_distributivity_sample(self, rng):
+        a = rng.integers(0, 256, size=100).astype(np.uint8)
+        b = rng.integers(0, 256, size=100).astype(np.uint8)
+        c = rng.integers(0, 256, size=100).astype(np.uint8)
+        left = gf_mul(a, gf_add(b, c))
+        right = gf_add(gf_mul(a, b), gf_mul(a, c))
+        assert np.array_equal(left, right)
+
+
+class TestInverseAndDivision:
+    def test_inverse_of_every_nonzero_element(self):
+        values = np.arange(1, 256, dtype=np.uint8)
+        assert np.all(gf_mul(values, gf_inv(values)) == 1)
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(np.uint8(0))
+
+    def test_division_roundtrip(self, rng):
+        a = rng.integers(0, 256, size=200).astype(np.uint8)
+        b = rng.integers(1, 256, size=200).astype(np.uint8)
+        assert np.array_equal(gf_mul(gf_div(a, b), b), a)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(np.uint8(5), np.uint8(0))
+
+
+class TestPower:
+    def test_power_zero_gives_one(self):
+        values = np.arange(256, dtype=np.uint8)
+        assert np.all(gf_pow(values, 0) == 1)
+
+    def test_power_one_is_identity(self):
+        values = np.arange(256, dtype=np.uint8)
+        assert np.array_equal(gf_pow(values, 1), values)
+
+    def test_power_matches_repeated_multiplication(self):
+        value = np.uint8(7)
+        product = np.uint8(1)
+        for exponent in range(1, 10):
+            product = gf_mul(product, value)
+            assert int(gf_pow(value, exponent)) == int(product)
+
+    def test_zero_to_positive_power_is_zero(self):
+        assert int(gf_pow(np.uint8(0), 5)) == 0
+
+    def test_zero_to_negative_power_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_pow(np.uint8(0), -1)
+
+    def test_negative_power_is_inverse_power(self):
+        value = np.uint8(19)
+        assert int(gf_pow(value, -1)) == int(gf_inv(value))
+
+    def test_fermat_little_theorem(self):
+        values = np.arange(1, 256, dtype=np.uint8)
+        assert np.all(gf_pow(values, 255) == 1)
+
+
+class TestScalarWrapper:
+    def test_arithmetic(self):
+        assert GF256(3) * GF256(7) == GF256(9)
+        assert GF256(5) + GF256(5) == GF256(0)
+        assert (GF256(200) / GF256(200)) == GF256(1)
+
+    def test_inverse(self):
+        for value in (1, 2, 87, 255):
+            assert GF256(value) * GF256(value).inverse() == GF256(1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GF256(256)
+        with pytest.raises(ValueError):
+            GF256(-1)
+
+    def test_equality_with_int(self):
+        assert GF256(17) == 17
+        assert GF256(17) != 18
+
+    def test_repr_and_int(self):
+        assert repr(GF256(5)) == "GF256(5)"
+        assert int(GF256(5)) == 5
+
+    def test_validation_of_inputs(self):
+        with pytest.raises(TypeError):
+            GF256(3) + "not a field element"
+
+
+class TestInputValidation:
+    def test_out_of_range_array_rejected(self):
+        with pytest.raises(ValueError):
+            gf_mul(np.array([300]), np.array([2]))
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TypeError):
+            gf_mul(np.array([1.5]), np.array([2.0]))

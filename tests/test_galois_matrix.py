@@ -1,0 +1,123 @@
+"""Unit tests for GF(2^8) matrix algebra."""
+
+import numpy as np
+import pytest
+
+from repro.galois.matrix import (
+    SingularMatrixError,
+    gf_identity,
+    gf_mat_inv,
+    gf_mat_mul,
+    gf_mat_rank,
+    gf_mat_vec,
+    gf_solve,
+)
+
+
+def random_invertible(rng, size):
+    """Draw random matrices until one is invertible (almost always the first)."""
+    while True:
+        matrix = rng.integers(0, 256, size=(size, size)).astype(np.uint8)
+        if gf_mat_rank(matrix) == size:
+            return matrix
+
+
+class TestIdentity:
+    def test_identity_shape_and_values(self):
+        identity = gf_identity(4)
+        assert identity.shape == (4, 4)
+        assert np.array_equal(identity, np.eye(4, dtype=np.uint8))
+
+    def test_identity_zero_size(self):
+        assert gf_identity(0).shape == (0, 0)
+
+    def test_identity_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gf_identity(-1)
+
+
+class TestMatVec:
+    def test_identity_matvec(self, rng):
+        vector = rng.integers(0, 256, size=6).astype(np.uint8)
+        assert np.array_equal(gf_mat_vec(gf_identity(6), vector), vector)
+
+    def test_matvec_with_payload_matrix(self, rng):
+        matrix = rng.integers(0, 256, size=(3, 4)).astype(np.uint8)
+        payloads = rng.integers(0, 256, size=(4, 10)).astype(np.uint8)
+        result = gf_mat_vec(matrix, payloads)
+        assert result.shape == (3, 10)
+        # Column-by-column equivalence with the 1-D product.
+        for column in range(10):
+            assert np.array_equal(result[:, column], gf_mat_vec(matrix, payloads[:, column]))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            gf_mat_vec(np.zeros((2, 3), dtype=np.uint8), np.zeros(4, dtype=np.uint8))
+
+
+class TestMatMul:
+    def test_identity_is_neutral(self, rng):
+        matrix = rng.integers(0, 256, size=(5, 5)).astype(np.uint8)
+        assert np.array_equal(gf_mat_mul(gf_identity(5), matrix), matrix)
+        assert np.array_equal(gf_mat_mul(matrix, gf_identity(5)), matrix)
+
+    def test_associativity(self, rng):
+        a = rng.integers(0, 256, size=(3, 4)).astype(np.uint8)
+        b = rng.integers(0, 256, size=(4, 2)).astype(np.uint8)
+        c = rng.integers(0, 256, size=(2, 5)).astype(np.uint8)
+        assert np.array_equal(gf_mat_mul(gf_mat_mul(a, b), c), gf_mat_mul(a, gf_mat_mul(b, c)))
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            gf_mat_mul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8))
+
+
+class TestInverse:
+    def test_inverse_roundtrip(self, rng):
+        for size in (1, 2, 5, 16):
+            matrix = random_invertible(rng, size)
+            inverse = gf_mat_inv(matrix)
+            assert np.array_equal(gf_mat_mul(matrix, inverse), gf_identity(size))
+            assert np.array_equal(gf_mat_mul(inverse, matrix), gf_identity(size))
+
+    def test_singular_matrix_raises(self):
+        singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(SingularMatrixError):
+            gf_mat_inv(singular)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            gf_mat_inv(np.zeros((2, 3), dtype=np.uint8))
+
+
+class TestRank:
+    def test_identity_rank(self):
+        assert gf_mat_rank(gf_identity(7)) == 7
+
+    def test_zero_matrix_rank(self):
+        assert gf_mat_rank(np.zeros((3, 5), dtype=np.uint8)) == 0
+
+    def test_duplicated_rows_reduce_rank(self, rng):
+        matrix = rng.integers(0, 256, size=(4, 6)).astype(np.uint8)
+        matrix[3] = matrix[0]
+        assert gf_mat_rank(matrix) <= 3
+
+    def test_rank_of_rectangular(self, rng):
+        matrix = rng.integers(0, 256, size=(3, 8)).astype(np.uint8)
+        assert gf_mat_rank(matrix) <= 3
+
+
+class TestSolve:
+    def test_solve_recovers_solution(self, rng):
+        size = 6
+        matrix = random_invertible(rng, size)
+        solution = rng.integers(0, 256, size=size).astype(np.uint8)
+        rhs = gf_mat_vec(matrix, solution)
+        assert np.array_equal(gf_solve(matrix, rhs), solution)
+
+    def test_solve_with_payloads(self, rng):
+        size = 4
+        matrix = random_invertible(rng, size)
+        solution = rng.integers(0, 256, size=(size, 12)).astype(np.uint8)
+        rhs = gf_mat_vec(matrix, solution)
+        assert np.array_equal(gf_solve(matrix, rhs), solution)

@@ -1,0 +1,80 @@
+"""Unit tests for Vandermonde/Cauchy constructions (MDS property)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.galois.matrix import gf_mat_rank
+from repro.galois.vandermonde import (
+    cauchy_matrix,
+    systematic_generator_matrix,
+    vandermonde_matrix,
+)
+
+
+class TestVandermonde:
+    def test_shape(self):
+        assert vandermonde_matrix(10, 4).shape == (10, 4)
+
+    def test_first_row_is_unit_vector(self):
+        matrix = vandermonde_matrix(5, 3)
+        assert matrix[0].tolist() == [1, 0, 0]
+
+    def test_any_k_rows_are_independent_small(self):
+        k, n = 3, 8
+        matrix = vandermonde_matrix(n, k)
+        for rows in itertools.combinations(range(n), k):
+            assert gf_mat_rank(matrix[list(rows)]) == k
+
+    def test_too_many_rows_rejected(self):
+        with pytest.raises(ValueError):
+            vandermonde_matrix(257, 3)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            vandermonde_matrix(0, 3)
+
+
+class TestCauchy:
+    def test_shape_and_nonzero(self):
+        matrix = cauchy_matrix(4, 6)
+        assert matrix.shape == (4, 6)
+        assert np.all(matrix != 0)
+
+    def test_every_square_submatrix_invertible_small(self):
+        rows, cols = 3, 5
+        matrix = cauchy_matrix(rows, cols)
+        for size in (1, 2, 3):
+            for row_set in itertools.combinations(range(rows), size):
+                for col_set in itertools.combinations(range(cols), size):
+                    sub = matrix[np.ix_(row_set, col_set)]
+                    assert gf_mat_rank(sub) == size
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            cauchy_matrix(200, 100)
+
+
+class TestSystematicGenerator:
+    @pytest.mark.parametrize("construction", ["vandermonde", "cauchy"])
+    def test_top_is_identity(self, construction):
+        generator = systematic_generator_matrix(5, 12, construction)
+        assert np.array_equal(generator[:5], np.eye(5, dtype=np.uint8))
+
+    @pytest.mark.parametrize("construction", ["vandermonde", "cauchy"])
+    def test_mds_property_small(self, construction):
+        k, n = 4, 9
+        generator = systematic_generator_matrix(k, n, construction)
+        for rows in itertools.combinations(range(n), k):
+            assert gf_mat_rank(generator[list(rows)]) == k, rows
+
+    def test_unknown_construction_rejected(self):
+        with pytest.raises(ValueError):
+            systematic_generator_matrix(3, 6, "unknown")
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            systematic_generator_matrix(5, 5)
+        with pytest.raises(ValueError):
+            systematic_generator_matrix(5, 300)

@@ -1,0 +1,148 @@
+"""Unit tests for LDGM encoding and payload decoding."""
+
+import numpy as np
+import pytest
+
+from repro.fec import LDGMCode, LDGMStaircaseCode, LDGMTriangleCode
+from repro.fec.ldgm.encoder import LDGMEncoder
+from repro.fec.ldgm.matrix import build_parity_check_matrix
+
+
+def make_payloads(rng, count, length=24):
+    return [bytes(rng.integers(0, 256, size=length, dtype=np.uint8)) for _ in range(count)]
+
+
+ALL_VARIANTS = [LDGMCode, LDGMStaircaseCode, LDGMTriangleCode]
+
+
+class TestEncoder:
+    @pytest.mark.parametrize("code_cls", ALL_VARIANTS)
+    def test_systematic_prefix(self, rng, code_cls):
+        code = code_cls(k=40, n=100, seed=1)
+        payloads = make_payloads(rng, 40)
+        encoded = code.new_encoder().encode(payloads)
+        assert len(encoded) == 100
+        assert encoded[:40] == payloads
+
+    @pytest.mark.parametrize("code_cls", ALL_VARIANTS)
+    def test_check_equations_hold(self, rng, code_cls):
+        """Every check equation must XOR to zero over the encoded packets."""
+        code = code_cls(k=30, n=75, seed=2)
+        payloads = make_payloads(rng, 30, length=8)
+        encoded = code.new_encoder().encode(payloads)
+        symbols = np.vstack([np.frombuffer(p, dtype=np.uint8) for p in encoded])
+        matrix = code.matrix
+        for row in range(matrix.num_checks):
+            total = np.zeros(8, dtype=np.uint8)
+            for col in matrix.row_columns(row):
+                total ^= symbols[int(col)]
+            assert np.all(total == 0), f"check {row} violated"
+
+    def test_wrong_payload_count_rejected(self, rng):
+        code = LDGMStaircaseCode(k=10, n=30, seed=0)
+        with pytest.raises(ValueError):
+            code.new_encoder().encode(make_payloads(rng, 9))
+
+    def test_unequal_payload_lengths_rejected(self, rng):
+        code = LDGMStaircaseCode(k=4, n=10, seed=0)
+        payloads = make_payloads(rng, 4)
+        payloads[2] = payloads[2][:-1]
+        with pytest.raises(ValueError):
+            code.new_encoder().encode(payloads)
+
+    def test_encode_arrays_helper(self, rng):
+        matrix = build_parity_check_matrix(10, 25, "staircase", seed=0)
+        encoder = LDGMEncoder(matrix)
+        source = rng.integers(0, 256, size=(10, 6)).astype(np.uint8)
+        encoded = encoder.encode_arrays(source)
+        assert encoded.shape == (25, 6)
+        assert np.array_equal(encoded[:10], source)
+
+
+class TestPayloadDecoder:
+    @pytest.mark.parametrize("code_cls", ALL_VARIANTS)
+    def test_roundtrip_no_loss_random_order(self, rng, code_cls):
+        code = code_cls(k=60, n=150, seed=3)
+        payloads = make_payloads(rng, 60, length=8)
+        encoded = code.new_encoder().encode(payloads)
+        decoder = code.new_decoder()
+        for index in rng.permutation(150):
+            if decoder.add_packet(int(index), encoded[int(index)]):
+                break
+        assert decoder.is_complete
+        assert decoder.source_payloads() == payloads
+
+    @pytest.mark.parametrize("code_cls", [LDGMStaircaseCode, LDGMTriangleCode])
+    def test_roundtrip_with_erasures(self, rng, code_cls):
+        code = code_cls(k=80, n=200, seed=4)
+        payloads = make_payloads(rng, 80, length=8)
+        encoded = code.new_encoder().encode(payloads)
+        # Erase 30% of the packets and deliver the rest in random order.
+        survivors = [i for i in range(200) if rng.random() > 0.3]
+        rng.shuffle(survivors)
+        decoder = code.new_decoder()
+        for index in survivors:
+            if decoder.add_packet(index, encoded[index]):
+                break
+        assert decoder.is_complete
+        assert decoder.source_payloads() == payloads
+
+    def test_duplicates_are_ignored(self, rng):
+        code = LDGMStaircaseCode(k=20, n=50, seed=5)
+        payloads = make_payloads(rng, 20)
+        encoded = code.new_encoder().encode(payloads)
+        decoder = code.new_decoder()
+        for _ in range(10):
+            decoder.add_packet(0, encoded[0])
+        assert decoder.decoded_source_count == 1
+
+    def test_payload_length_mismatch_rejected(self, rng):
+        code = LDGMStaircaseCode(k=10, n=25, seed=0)
+        payloads = make_payloads(rng, 10)
+        encoded = code.new_encoder().encode(payloads)
+        decoder = code.new_decoder()
+        decoder.add_packet(0, encoded[0])
+        with pytest.raises(ValueError):
+            decoder.add_packet(1, encoded[1] + b"x")
+
+    def test_incomplete_decoder_refuses_payloads(self):
+        code = LDGMStaircaseCode(k=10, n=25, seed=0)
+        decoder = code.new_decoder()
+        with pytest.raises(RuntimeError):
+            decoder.source_payloads()
+
+    def test_out_of_range_index_rejected(self):
+        code = LDGMStaircaseCode(k=10, n=25, seed=0)
+        decoder = code.new_decoder()
+        with pytest.raises(IndexError):
+            decoder.add_packet(25, b"x" * 8)
+
+    def test_parity_only_reception_is_insufficient_at_ratio_1_5(self, rng):
+        """At expansion ratio 1.5 there are fewer parity packets than source
+        packets, so LDGM decoding cannot complete from parity alone (the
+        non-systematic use of section 4.5 needs source packets too)."""
+        code = LDGMStaircaseCode(k=40, n=60, seed=6)
+        payloads = make_payloads(rng, 40)
+        encoded = code.new_encoder().encode(payloads)
+        decoder = code.new_decoder()
+        for index in range(40, 60):
+            decoder.add_packet(index, encoded[index])
+        assert not decoder.is_complete
+
+
+class TestCodeProperties:
+    def test_left_degree_property(self):
+        code = LDGMStaircaseCode(k=100, n=250, seed=0)
+        assert code.left_degree == 3
+
+    def test_not_mds(self):
+        assert not LDGMStaircaseCode(k=10, n=25, seed=0).is_mds
+
+    def test_matrix_exposed(self):
+        code = LDGMTriangleCode(k=10, n=25, seed=0)
+        assert code.matrix.k == 10 and code.matrix.n == 25
+
+    def test_names(self):
+        assert LDGMCode.name == "ldgm"
+        assert LDGMStaircaseCode.name == "ldgm-staircase"
+        assert LDGMTriangleCode.name == "ldgm-triangle"

@@ -1,0 +1,86 @@
+"""Unit tests for the ML (Gaussian elimination) LDGM decoder extension."""
+
+import numpy as np
+import pytest
+
+from repro.fec import LDGMStaircaseCode, LDGMTriangleCode
+from repro.fec.ldgm.ml_decoder import ml_decodable, ml_necessary_count
+
+
+class TestMlDecodable:
+    def test_everything_received_is_decodable(self):
+        code = LDGMStaircaseCode(k=30, n=75, seed=0)
+        known = np.ones(75, dtype=bool)
+        assert ml_decodable(code.matrix, known)
+
+    def test_nothing_received_is_not_decodable(self):
+        code = LDGMStaircaseCode(k=30, n=75, seed=0)
+        known = np.zeros(75, dtype=bool)
+        assert not ml_decodable(code.matrix, known)
+
+    def test_more_unknowns_than_checks_is_not_decodable(self):
+        code = LDGMStaircaseCode(k=30, n=75, seed=0)
+        known = np.zeros(75, dtype=bool)
+        known[:20] = True  # 55 unknowns > 45 checks
+        assert not ml_decodable(code.matrix, known)
+
+    def test_single_missing_packet_is_decodable(self):
+        code = LDGMStaircaseCode(k=30, n=75, seed=1)
+        known = np.ones(75, dtype=bool)
+        known[13] = False
+        assert ml_decodable(code.matrix, known)
+
+    def test_wrong_mask_shape_rejected(self):
+        code = LDGMStaircaseCode(k=30, n=75, seed=1)
+        with pytest.raises(ValueError):
+            ml_decodable(code.matrix, np.ones(10, dtype=bool))
+
+    def test_ml_at_least_as_strong_as_iterative(self, rng):
+        """Whenever the iterative decoder succeeds, ML must succeed too."""
+        code = LDGMTriangleCode(k=60, n=150, seed=2)
+        for trial in range(5):
+            order = rng.permutation(150)
+            received = order[: int(0.75 * 150)]
+            iterative = code.new_symbolic_decoder()
+            for index in received:
+                iterative.add_packet(int(index))
+            if iterative.is_complete:
+                known = np.zeros(150, dtype=bool)
+                known[received] = True
+                assert ml_decodable(code.matrix, known)
+
+
+class TestMlNecessaryCount:
+    def test_returns_none_when_undecodable(self):
+        code = LDGMStaircaseCode(k=30, n=75, seed=3)
+        assert ml_necessary_count(code.matrix, list(range(10))) is None
+
+    def test_counts_prefix_length(self, rng):
+        code = LDGMStaircaseCode(k=50, n=125, seed=4)
+        order = [int(i) for i in rng.permutation(125)]
+        needed = ml_necessary_count(code.matrix, order)
+        assert needed is not None
+        assert 50 <= needed <= 125
+        # The prefix of that length is decodable, one packet fewer is not.
+        known = np.zeros(125, dtype=bool)
+        known[order[:needed]] = True
+        assert ml_decodable(code.matrix, known)
+        known[order[needed - 1]] = False
+        assert not ml_decodable(code.matrix, known)
+
+    def test_ml_needs_no_more_than_iterative(self, rng):
+        code = LDGMStaircaseCode(k=60, n=150, seed=5)
+        order = [int(i) for i in rng.permutation(150)]
+        iterative = code.new_symbolic_decoder()
+        iterative_needed = iterative.add_packets(order)
+        ml_needed = ml_necessary_count(code.matrix, order)
+        assert iterative.is_complete
+        assert ml_needed is not None
+        assert ml_needed <= iterative_needed
+
+    def test_duplicates_counted_as_received_packets(self):
+        code = LDGMStaircaseCode(k=20, n=50, seed=6)
+        order = [0, 0, 0] + list(range(50))
+        needed = ml_necessary_count(code.matrix, order)
+        assert needed is not None
+        assert needed >= 20

@@ -1,0 +1,113 @@
+"""Unit tests for the symbolic (index-only) LDGM peeling decoder."""
+
+import numpy as np
+import pytest
+
+from repro.fec import LDGMStaircaseCode, LDGMTriangleCode
+from repro.fec.ldgm.symbolic import LDGMSymbolicDecoder
+
+
+class TestBasics:
+    def test_all_source_packets_complete_immediately(self):
+        code = LDGMStaircaseCode(k=50, n=125, seed=0)
+        decoder = code.new_symbolic_decoder()
+        consumed = decoder.add_packets(range(50))
+        assert decoder.is_complete
+        assert consumed == 50
+        assert decoder.decoded_source_count == 50
+
+    def test_duplicates_do_not_advance_decoding(self):
+        code = LDGMStaircaseCode(k=20, n=50, seed=0)
+        decoder = code.new_symbolic_decoder()
+        for _ in range(100):
+            decoder.add_packet(0)
+        assert decoder.decoded_source_count == 1
+        assert not decoder.is_complete
+
+    def test_out_of_range_rejected(self):
+        code = LDGMStaircaseCode(k=20, n=50, seed=0)
+        decoder = code.new_symbolic_decoder()
+        with pytest.raises(IndexError):
+            decoder.add_packet(50)
+
+    def test_parity_only_is_insufficient_at_ratio_1_5(self):
+        code = LDGMStaircaseCode(k=30, n=45, seed=1)
+        decoder = code.new_symbolic_decoder()
+        decoder.add_packets(range(30, 45))
+        assert not decoder.is_complete
+
+    def test_known_packet_count_tracks_recovered_parity(self):
+        code = LDGMStaircaseCode(k=30, n=75, seed=1)
+        decoder = code.new_symbolic_decoder()
+        decoder.add_packets(range(30))
+        assert decoder.is_complete
+        # Receiving every source packet also lets the decoder reconstruct
+        # parity packets via the check equations.
+        assert decoder.known_packet_count >= 30
+
+
+class TestPeeling:
+    def test_single_missing_source_recovered_from_parity(self):
+        """Missing one source packet must be recoverable via one of its checks."""
+        code = LDGMStaircaseCode(k=40, n=100, seed=2)
+        decoder = code.new_symbolic_decoder()
+        missing = 17
+        for index in range(100):
+            if index == missing:
+                continue
+            if decoder.add_packet(index):
+                break
+        assert decoder.is_complete
+
+    def test_handful_of_missing_sources_recovered(self, rng):
+        code = LDGMTriangleCode(k=100, n=250, seed=3)
+        missing = set(rng.choice(100, size=10, replace=False).tolist())
+        decoder = code.new_symbolic_decoder()
+        for index in range(250):
+            if index in missing:
+                continue
+            if decoder.add_packet(index):
+                break
+        assert decoder.is_complete
+
+    def test_agrees_with_payload_decoder(self, rng):
+        """The symbolic and payload decoders must need the same packets."""
+        code = LDGMStaircaseCode(k=60, n=150, seed=4)
+        payloads = [bytes(rng.integers(0, 256, size=8, dtype=np.uint8)) for _ in range(60)]
+        encoded = code.new_encoder().encode(payloads)
+        order = [int(i) for i in rng.permutation(150)]
+        symbolic = code.new_symbolic_decoder()
+        payload_decoder = code.new_decoder()
+        symbolic_needed = symbolic.add_packets(order)
+        payload_needed = None
+        for count, index in enumerate(order, start=1):
+            if payload_decoder.add_packet(index, encoded[index]):
+                payload_needed = count
+                break
+        assert symbolic.is_complete and payload_decoder.is_complete
+        assert symbolic_needed == payload_needed
+
+    def test_inefficiency_is_reasonable_for_random_reception(self, rng):
+        """Sanity bound: LDGM Staircase decodes well below the expansion ratio."""
+        code = LDGMStaircaseCode(k=400, n=1000, seed=5)
+        ratios = []
+        for _ in range(5):
+            decoder = code.new_symbolic_decoder()
+            order = [int(i) for i in rng.permutation(1000)]
+            needed = decoder.add_packets(order)
+            assert decoder.is_complete
+            ratios.append(needed / 400)
+        assert 1.0 <= np.mean(ratios) < 1.4
+
+    def test_decoder_is_fresh_per_instance(self):
+        code = LDGMStaircaseCode(k=20, n=50, seed=6)
+        first = code.new_symbolic_decoder()
+        first.add_packets(range(20))
+        second = code.new_symbolic_decoder()
+        assert first.is_complete and not second.is_complete
+
+    def test_direct_construction_from_matrix(self):
+        code = LDGMStaircaseCode(k=20, n=50, seed=6)
+        decoder = LDGMSymbolicDecoder(code.matrix)
+        decoder.add_packets(range(20))
+        assert decoder.is_complete

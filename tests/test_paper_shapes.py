@@ -1,0 +1,194 @@
+"""Integration tests checking the qualitative shapes reported by the paper.
+
+These tests run small but real simulations and assert the *orderings* and
+*patterns* the paper emphasises -- not absolute values, which depend on the
+object size (we use k in the hundreds here, the paper uses 20 000).
+They are the executable summary of section 6.1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.metrics import CellStats
+from repro.core.simulator import Simulator
+from repro.core.sweep import simulate_grid, sweep_parameter
+from repro.channel import GilbertChannel, PerfectChannel
+
+
+K = 600
+RUNS = 4
+SEED = 2024
+
+
+def mean_inefficiency(code, tx_model, ratio, p, q, runs=RUNS, k=K, tx_options=None, seed=SEED):
+    """Average inefficiency of successful runs (NaN if all runs fail)."""
+    config = SimulationConfig(
+        code=code, tx_model=tx_model, k=k, expansion_ratio=ratio, tx_options=tx_options or {}
+    )
+    channel = GilbertChannel(p, q) if (p, q) != (0.0, 0.0) else PerfectChannel()
+    built = config.build_code(seed=np.random.default_rng(seed))
+    simulator = Simulator(built, config.build_tx_model(), channel)
+    stats = CellStats()
+    for run in range(runs):
+        stats.add(simulator.run(np.random.default_rng(np.random.SeedSequence([seed, run]))))
+    return stats.mean_inefficiency_of_successes, stats.failures
+
+
+class TestSection42NoFec:
+    def test_repetition_only_works_without_loss(self):
+        """Figure 7: with 2 repetitions instead of FEC, decoding needs ~2k
+        packets at p = 0 and fails for p > 0."""
+        perfect, failures = mean_inefficiency("repetition", "tx_model_4", 2.0, 0.0, 1.0)
+        assert failures == 0
+        assert perfect > 1.7
+        _, failures_lossy = mean_inefficiency("repetition", "tx_model_4", 2.0, 0.10, 0.5)
+        assert failures_lossy > 0
+
+
+class TestTxModel1:
+    def test_without_loss_is_ideal(self):
+        value, failures = mean_inefficiency("ldgm-triangle", "tx_model_1", 2.5, 0.0, 0.0)
+        assert failures == 0 and value == pytest.approx(1.0)
+
+    def test_with_bursty_loss_receiver_waits_for_the_end(self):
+        """Figure 8: with losses the inefficiency tracks n_received / k, i.e.
+        the receiver has to wait for most of the transmission, which makes
+        Tx_model_1 far worse than Tx_model_2 on the same channel."""
+        config = SimulationConfig(code="ldgm-triangle", tx_model="tx_model_1", k=K, expansion_ratio=2.5)
+        grid = simulate_grid(config, [0.05], [0.3], runs=RUNS, seed=SEED)
+        inefficiency = grid.mean_inefficiency[0, 0]
+        received = grid.mean_received_ratio[0, 0]
+        assert np.isfinite(inefficiency)
+        # The receiver needs most of everything it will ever receive (the gap
+        # is wider here than in the paper because k is 30x smaller).
+        assert inefficiency >= 0.8 * received
+        better, better_failures = mean_inefficiency("ldgm-triangle", "tx_model_2", 2.5, 0.05, 0.3)
+        assert better_failures == 0
+        assert inefficiency > better + 0.3
+
+
+class TestTxModel2:
+    def test_ldgm_outperforms_rse(self):
+        """Figure 9: LDGM codes beat RSE under Tx_model_2 at ratio 2.5."""
+        rse, _ = mean_inefficiency("rse", "tx_model_2", 2.5, 0.05, 0.5, k=2000)
+        staircase, _ = mean_inefficiency("ldgm-staircase", "tx_model_2", 2.5, 0.05, 0.5, k=2000)
+        assert staircase < rse
+
+    def test_triangle_better_than_staircase_under_bursts(self):
+        """Tables 1-2: at higher loss rates Triangle beats Staircase."""
+        triangle, triangle_failures = mean_inefficiency("ldgm-triangle", "tx_model_2", 2.5, 0.2, 0.5)
+        staircase, staircase_failures = mean_inefficiency("ldgm-staircase", "tx_model_2", 2.5, 0.2, 0.5)
+        assert triangle_failures == 0
+        assert triangle < staircase
+
+    def test_staircase_better_at_low_loss(self):
+        """Tables 1-2: with few losses Staircase is the more efficient code."""
+        triangle, _ = mean_inefficiency("ldgm-triangle", "tx_model_2", 2.5, 0.01, 1.0)
+        staircase, _ = mean_inefficiency("ldgm-staircase", "tx_model_2", 2.5, 0.01, 1.0)
+        assert staircase < triangle
+
+    def test_no_loss_is_ideal_for_all_codes(self):
+        for code in ("rse", "ldgm-staircase", "ldgm-triangle"):
+            value, failures = mean_inefficiency(code, "tx_model_2", 2.5, 0.0, 0.0)
+            assert failures == 0 and value == pytest.approx(1.0), code
+
+
+class TestTxModel3:
+    def test_inefficiency_close_to_ratio_without_loss(self):
+        """Figure 10: at p = 0 the receiver needs ~all parity packets first,
+        so the inefficiency is close to the expansion ratio."""
+        value, failures = mean_inefficiency("ldgm-staircase", "tx_model_3", 2.5, 0.0, 0.0)
+        assert failures == 0
+        assert value > 1.45
+
+
+class TestTxModel4:
+    def test_performance_nearly_independent_of_loss_pattern(self):
+        """Figure 11 / Table 5: Tx_model_4 is insensitive to the channel."""
+        values = []
+        for (p, q) in [(0.0, 1.0), (0.05, 0.5), (0.3, 0.7)]:
+            value, failures = mean_inefficiency("ldgm-staircase", "tx_model_4", 2.5, p, q)
+            assert failures == 0
+            values.append(value)
+        assert max(values) - min(values) < 0.05
+
+    def test_rse_worst_at_large_k(self):
+        """Figure 11(a): RSE has the highest inefficiency because of the
+        coupon-collector effect across its many blocks."""
+        rse, _ = mean_inefficiency("rse", "tx_model_4", 2.5, 0.05, 0.5, k=4000, runs=2)
+        staircase, _ = mean_inefficiency("ldgm-staircase", "tx_model_4", 2.5, 0.05, 0.5, k=4000, runs=2)
+        assert staircase < rse
+
+
+class TestTxModel5:
+    def test_interleaving_is_best_scheme_for_rse(self):
+        """Figure 12: RSE + interleaving beats RSE + sequential transmission."""
+        k = 2000
+        interleaved, interleaved_failures = mean_inefficiency("rse", "tx_model_5", 2.5, 0.05, 0.3, k=k)
+        sequential, sequential_failures = mean_inefficiency("rse", "tx_model_1", 2.5, 0.05, 0.3, k=k)
+        assert interleaved_failures == 0
+        assert interleaved < sequential or sequential_failures > 0
+
+    def test_rse_perfect_channel_is_ideal(self):
+        value, failures = mean_inefficiency("rse", "tx_model_5", 2.5, 0.0, 0.0, k=2000)
+        assert failures == 0 and value == pytest.approx(1.0)
+
+
+class TestTxModel6:
+    def test_staircase_beats_triangle(self):
+        """Figure 13: unusually, LDGM Staircase outperforms Triangle here."""
+        options = {"source_fraction": 0.2}
+        staircase, staircase_failures = mean_inefficiency(
+            "ldgm-staircase", "tx_model_6", 2.5, 0.05, 0.5, tx_options=options
+        )
+        triangle, _ = mean_inefficiency(
+            "ldgm-triangle", "tx_model_6", 2.5, 0.05, 0.5, tx_options=options
+        )
+        assert staircase_failures == 0
+        assert staircase < triangle
+
+    def test_staircase_performance_is_flat(self):
+        """Table 9: LDGM Staircase + Tx_model_6 is almost channel independent."""
+        options = {"source_fraction": 0.2}
+        values = []
+        for (p, q) in [(0.0, 1.0), (0.05, 0.5), (0.2, 0.8)]:
+            value, failures = mean_inefficiency(
+                "ldgm-staircase", "tx_model_6", 2.5, p, q, tx_options=options
+            )
+            assert failures == 0
+            values.append(value)
+        assert max(values) - min(values) < 0.05
+
+
+class TestRxModel1:
+    def test_sweet_spot_in_received_source_packets(self):
+        """Figure 14: receiving a few percent of the source packets (the
+        paper finds 400-1000 out of 20000) is better than receiving a single
+        one or than receiving half of them."""
+        def make_config(num_source):
+            return SimulationConfig(
+                code="ldgm-staircase",
+                tx_model="rx_model_1",
+                k=1000,
+                expansion_ratio=2.5,
+                tx_options={"num_source_packets": int(num_source)},
+            )
+
+        series = sweep_parameter(
+            make_config, [1, 30, 500], parameter_name="source packets",
+            p=0.0, q=1.0, runs=5, seed=SEED,
+        )
+        assert np.all(series.failure_counts == 0)
+        one, sweet_spot, half = series.mean_inefficiency
+        assert sweet_spot < one
+        assert sweet_spot < half
+
+
+class TestDecodabilityLimits:
+    def test_simulation_respects_figure6_limits(self):
+        """No configuration decodes reliably below the analytic limit."""
+        config = SimulationConfig(code="ldgm-staircase", tx_model="tx_model_4", k=400, expansion_ratio=1.5)
+        grid = simulate_grid(config, [0.6], [0.2], runs=3, seed=SEED)
+        # p=0.6, q=0.2 -> 75% loss; ratio 1.5 cannot deliver k packets.
+        assert grid.failure_counts[0, 0] > 0

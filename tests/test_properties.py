@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.channel import GilbertChannel
+from repro.channel.limits import is_decodable, minimum_q_for_decoding
+from repro.fec import make_code
+from repro.fec.rse.blocks import MAX_BLOCK_SIZE_GF256, partition_object
+from repro.galois.field import gf_add, gf_div, gf_inv, gf_mul
+from repro.galois.matrix import gf_mat_inv, gf_mat_mul, gf_mat_rank, gf_identity
+from repro.scheduling import make_tx_model
+
+# Element and small-array strategies for GF(2^8).
+field_elements = st.integers(min_value=0, max_value=255)
+nonzero_elements = st.integers(min_value=1, max_value=255)
+
+common_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestGaloisFieldProperties:
+    @common_settings
+    @given(a=field_elements, b=field_elements, c=field_elements)
+    def test_field_axioms(self, a, b, c):
+        a8, b8, c8 = np.uint8(a), np.uint8(b), np.uint8(c)
+        # Commutativity.
+        assert gf_add(a8, b8) == gf_add(b8, a8)
+        assert gf_mul(a8, b8) == gf_mul(b8, a8)
+        # Associativity.
+        assert int(gf_mul(gf_mul(a8, b8), c8)) == int(gf_mul(a8, gf_mul(b8, c8)))
+        # Distributivity.
+        assert int(gf_mul(a8, gf_add(b8, c8))) == int(
+            gf_add(gf_mul(a8, b8), gf_mul(a8, c8))
+        )
+        # Additive inverse (characteristic 2).
+        assert int(gf_add(a8, a8)) == 0
+
+    @common_settings
+    @given(a=nonzero_elements)
+    def test_multiplicative_inverse(self, a):
+        a8 = np.uint8(a)
+        assert int(gf_mul(a8, gf_inv(a8))) == 1
+
+    @common_settings
+    @given(a=field_elements, b=nonzero_elements)
+    def test_division_is_multiplication_by_inverse(self, a, b):
+        a8, b8 = np.uint8(a), np.uint8(b)
+        assert int(gf_div(a8, b8)) == int(gf_mul(a8, gf_inv(b8)))
+
+
+class TestGaloisMatrixProperties:
+    @common_settings
+    @given(
+        size=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_inverse_roundtrip_when_full_rank(self, size, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 256, size=(size, size)).astype(np.uint8)
+        if gf_mat_rank(matrix) < size:
+            return  # singular draw; property only applies to invertible matrices
+        inverse = gf_mat_inv(matrix)
+        assert np.array_equal(gf_mat_mul(matrix, inverse), gf_identity(size))
+
+
+class TestPartitionProperties:
+    @common_settings
+    @given(
+        k=st.integers(min_value=2, max_value=5000),
+        ratio_percent=st.integers(min_value=120, max_value=400),
+    )
+    def test_partition_invariants(self, k, ratio_percent):
+        n = int(round(k * ratio_percent / 100))
+        if n <= k:
+            return
+        try:
+            partition = partition_object(k, n)
+        except ValueError:
+            # Legitimately impossible configurations (e.g. not enough parity
+            # packets to give one to every block) are allowed to raise.
+            return
+        assert partition.k == k
+        assert partition.n == n
+        assert partition.max_block_n <= MAX_BLOCK_SIZE_GF256
+        assert max(partition.block_ks) - min(partition.block_ks) <= 1
+        assert all(block_n > block_k for block_k, block_n in zip(partition.block_ks, partition.block_ns))
+
+
+class TestGilbertProperties:
+    @common_settings
+    @given(
+        p=st.floats(min_value=0.0, max_value=1.0),
+        q=st.floats(min_value=0.0, max_value=1.0),
+        count=st.integers(min_value=0, max_value=2000),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_loss_mask_shape_and_extremes(self, p, q, count, seed):
+        channel = GilbertChannel(p, q)
+        mask = channel.loss_mask(count, np.random.default_rng(seed))
+        assert mask.shape == (count,)
+        assert 0.0 <= channel.global_loss_probability <= 1.0
+        if p == 0.0:
+            assert not mask.any()
+        elif q == 0.0:
+            assert mask.all()
+
+    @common_settings
+    @given(
+        p=st.floats(min_value=0.0, max_value=1.0),
+        ratio=st.sampled_from([1.5, 2.0, 2.5, 3.0]),
+    )
+    def test_decodability_limit_consistency(self, p, ratio):
+        limit = minimum_q_for_decoding(p, ratio)
+        if limit <= 1.0:
+            assert is_decodable(p, min(1.0, limit), ratio)
+        if limit > 0.0 and np.isfinite(limit):
+            below = max(0.0, limit - 0.05)
+            if below < limit:
+                assert not is_decodable(p, below, ratio) or np.isclose(below, limit)
+
+
+class TestSchedulerProperties:
+    @common_settings
+    @given(
+        k=st.integers(min_value=10, max_value=300),
+        ratio=st.sampled_from([1.5, 2.0, 2.5]),
+        tx_index=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_full_schedules_are_permutations(self, k, ratio, tx_index, seed):
+        code = make_code("ldgm-staircase", k=k, expansion_ratio=ratio, seed=0)
+        model = make_tx_model(f"tx_model_{tx_index}")
+        schedule = model.schedule(code.layout, np.random.default_rng(seed))
+        assert sorted(schedule.tolist()) == list(range(code.n))
+
+    @common_settings
+    @given(
+        k=st.integers(min_value=20, max_value=300),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_tx_model_6_subset_properties(self, k, fraction, seed):
+        code = make_code("ldgm-staircase", k=k, expansion_ratio=2.5, seed=0)
+        model = make_tx_model("tx_model_6", source_fraction=fraction)
+        schedule = model.schedule(code.layout, np.random.default_rng(seed))
+        source_sent = [i for i in schedule.tolist() if i < k]
+        parity_sent = sorted(i for i in schedule.tolist() if i >= k)
+        assert len(set(source_sent)) == len(source_sent)
+        assert len(source_sent) == int(round(fraction * k))
+        assert parity_sent == list(range(k, code.n))
+
+
+class TestCodecProperties:
+    @common_settings
+    @given(
+        k=st.integers(min_value=5, max_value=60),
+        ratio=st.sampled_from([1.5, 2.0, 2.5]),
+        payload_len=st.integers(min_value=1, max_value=64),
+        code_name=st.sampled_from(["rse", "ldgm-staircase", "ldgm-triangle"]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_random_order_roundtrip(self, k, ratio, payload_len, code_name, seed):
+        """Decoding from every packet, in any order, always recovers the object."""
+        rng = np.random.default_rng(seed)
+        code = make_code(code_name, k=k, expansion_ratio=ratio, seed=seed)
+        payloads = [bytes(rng.integers(0, 256, size=payload_len, dtype=np.uint8)) for _ in range(k)]
+        encoded = code.new_encoder().encode(payloads)
+        assert encoded[:k] == payloads  # systematic property
+        decoder = code.new_decoder()
+        for index in rng.permutation(code.n):
+            if decoder.add_packet(int(index), encoded[int(index)]):
+                break
+        assert decoder.is_complete
+        assert decoder.source_payloads() == payloads
+
+    @common_settings
+    @given(
+        k=st.integers(min_value=5, max_value=60),
+        ratio=st.sampled_from([1.5, 2.5]),
+        code_name=st.sampled_from(["rse", "ldgm-staircase", "ldgm-triangle"]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_symbolic_decoder_needs_at_least_k_packets(self, k, ratio, code_name, seed):
+        rng = np.random.default_rng(seed)
+        code = make_code(code_name, k=k, expansion_ratio=ratio, seed=seed)
+        decoder = code.new_symbolic_decoder()
+        needed = decoder.add_packets(int(i) for i in rng.permutation(code.n))
+        assert decoder.is_complete
+        assert k <= needed <= code.n
+        assert decoder.decoded_source_count == k

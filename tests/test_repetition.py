@@ -1,0 +1,64 @@
+"""Unit tests for the repetition (no FEC) baseline of section 4.2."""
+
+import numpy as np
+import pytest
+
+from repro.fec.repetition import RepetitionCode
+
+
+class TestConstruction:
+    def test_copies(self):
+        code = RepetitionCode(k=10, n=20)
+        assert code.copies == 2
+        assert code.layout.k == 10 and code.layout.n == 20
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(k=10, n=25)
+
+    def test_source_of_mapping(self):
+        code = RepetitionCode(k=5, n=15)
+        assert [code.source_of(i) for i in (0, 4, 5, 9, 14)] == [0, 4, 0, 4, 4]
+        with pytest.raises(IndexError):
+            code.source_of(15)
+
+
+class TestSymbolicDecoder:
+    def test_needs_every_distinct_source(self):
+        code = RepetitionCode(k=4, n=8)
+        decoder = code.new_symbolic_decoder()
+        assert not decoder.add_packet(0)
+        assert not decoder.add_packet(4)  # duplicate of source 0
+        assert decoder.decoded_source_count == 1
+        decoder.add_packet(1)
+        decoder.add_packet(2)
+        assert not decoder.is_complete
+        assert decoder.add_packet(7)  # source 3
+        assert decoder.is_complete
+
+    def test_receiving_one_full_copy_is_enough(self):
+        code = RepetitionCode(k=50, n=100)
+        decoder = code.new_symbolic_decoder()
+        consumed = decoder.add_packets(range(50, 100))
+        assert decoder.is_complete
+        assert consumed == 50
+
+
+class TestPayloadRoundtrip:
+    def test_roundtrip(self, rng):
+        code = RepetitionCode(k=6, n=18)
+        payloads = [bytes(rng.integers(0, 256, size=10, dtype=np.uint8)) for _ in range(6)]
+        encoded = code.new_encoder().encode(payloads)
+        assert len(encoded) == 18
+        assert encoded[6:12] == payloads
+        decoder = code.new_decoder()
+        for index in (12, 13, 2, 9, 4, 17):
+            decoder.add_packet(index, encoded[index])
+        assert decoder.is_complete
+        assert decoder.source_payloads() == payloads
+
+    def test_incomplete_refuses_payloads(self):
+        code = RepetitionCode(k=3, n=6)
+        decoder = code.new_decoder()
+        with pytest.raises(RuntimeError):
+            decoder.source_payloads()

@@ -1,0 +1,59 @@
+"""Unit tests for the RSE block partitioner."""
+
+import pytest
+
+from repro.fec.rse.blocks import MAX_BLOCK_SIZE_GF256, partition_object
+
+
+class TestPartitionObject:
+    def test_single_block_when_small(self):
+        partition = partition_object(100, 250)
+        assert partition.num_blocks == 1
+        assert partition.block_ks == (100,)
+        assert partition.block_ns == (250,)
+
+    def test_totals_preserved(self):
+        for k, ratio in [(1000, 1.5), (1000, 2.5), (20000, 2.5), (777, 2.0), (129, 2.0)]:
+            n = int(round(k * ratio))
+            partition = partition_object(k, n)
+            assert partition.k == k
+            assert partition.n == n
+
+    def test_paper_example_n_equals_2k(self):
+        # Paper, section 2.2: with n = 2k the blocks hold at most 128 source
+        # packets (256 encoding packets) over GF(2^8).
+        partition = partition_object(1280, 2560)
+        assert partition.max_block_n <= MAX_BLOCK_SIZE_GF256
+        assert max(partition.block_ks) <= 128
+
+    def test_block_sizes_balanced(self):
+        partition = partition_object(1000, 2500)
+        assert max(partition.block_ks) - min(partition.block_ks) <= 1
+
+    def test_no_block_exceeds_field_limit(self):
+        for k in (500, 999, 5000, 20000):
+            partition = partition_object(k, int(k * 2.5))
+            assert partition.max_block_n <= MAX_BLOCK_SIZE_GF256
+
+    def test_every_block_has_parity(self):
+        partition = partition_object(5000, 7500)
+        for block_k, block_n in zip(partition.block_ks, partition.block_ns):
+            assert block_n > block_k
+
+    def test_custom_max_block_size(self):
+        partition = partition_object(100, 150, max_block_size=30)
+        assert partition.max_block_n <= 30
+        assert partition.num_blocks >= 5
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            partition_object(10, 10)
+        with pytest.raises(ValueError):
+            partition_object(10, 20, max_block_size=500)
+        with pytest.raises(TypeError):
+            partition_object("10", 20)
+
+    def test_expansion_ratio_too_small_rejected(self):
+        # Fewer parity packets than blocks cannot give every block parity.
+        with pytest.raises(ValueError):
+            partition_object(2000, 2001)

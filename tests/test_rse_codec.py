@@ -1,0 +1,97 @@
+"""Unit tests for the single-block Reed-Solomon codec."""
+
+import numpy as np
+import pytest
+
+from repro.fec.rse.codec import ReedSolomonBlockCodec
+
+
+def make_payloads(rng, count, length=32):
+    return rng.integers(0, 256, size=(count, length)).astype(np.uint8)
+
+
+class TestEncoding:
+    def test_systematic_prefix(self, rng):
+        codec = ReedSolomonBlockCodec(5, 12)
+        source = make_payloads(rng, 5)
+        encoded = codec.encode(source)
+        assert encoded.shape == (12, 32)
+        assert np.array_equal(encoded[:5], source)
+
+    def test_scalar_symbols(self, rng):
+        codec = ReedSolomonBlockCodec(4, 8)
+        source = rng.integers(0, 256, size=4).astype(np.uint8)
+        encoded = codec.encode(source)
+        assert encoded.shape == (8,)
+        assert np.array_equal(encoded[:4], source)
+
+    def test_wrong_source_count_rejected(self, rng):
+        codec = ReedSolomonBlockCodec(5, 12)
+        with pytest.raises(ValueError):
+            codec.encode(make_payloads(rng, 4))
+
+
+class TestDecoding:
+    @pytest.mark.parametrize("construction", ["vandermonde", "cauchy"])
+    def test_decode_from_parity_only(self, rng, construction):
+        codec = ReedSolomonBlockCodec(5, 12, construction=construction)
+        source = make_payloads(rng, 5)
+        encoded = codec.encode(source)
+        indices = list(range(5, 10))
+        recovered = codec.decode(indices, encoded[indices])
+        assert np.array_equal(recovered, source)
+
+    def test_decode_from_random_subsets(self, rng):
+        codec = ReedSolomonBlockCodec(6, 14)
+        source = make_payloads(rng, 6)
+        encoded = codec.encode(source)
+        for _ in range(20):
+            indices = rng.choice(14, size=6, replace=False)
+            recovered = codec.decode(indices, encoded[indices])
+            assert np.array_equal(recovered, source)
+
+    def test_decode_with_extra_symbols(self, rng):
+        codec = ReedSolomonBlockCodec(4, 10)
+        source = make_payloads(rng, 4)
+        encoded = codec.encode(source)
+        indices = [9, 2, 7, 0, 5, 3]
+        recovered = codec.decode(indices, encoded[indices])
+        assert np.array_equal(recovered, source)
+
+    def test_too_few_symbols_rejected(self, rng):
+        codec = ReedSolomonBlockCodec(5, 12)
+        source = make_payloads(rng, 5)
+        encoded = codec.encode(source)
+        with pytest.raises(ValueError):
+            codec.decode([0, 1, 2, 3], encoded[[0, 1, 2, 3]])
+
+    def test_duplicate_indices_rejected(self, rng):
+        codec = ReedSolomonBlockCodec(3, 6)
+        source = make_payloads(rng, 3)
+        encoded = codec.encode(source)
+        with pytest.raises(ValueError):
+            codec.decode([0, 0, 1], encoded[[0, 0, 1]])
+
+    def test_out_of_range_index_rejected(self, rng):
+        codec = ReedSolomonBlockCodec(3, 6)
+        source = make_payloads(rng, 3)
+        encoded = codec.encode(source)
+        with pytest.raises(ValueError):
+            codec.decode([0, 1, 6], encoded[[0, 1, 2]])
+
+
+class TestConstruction:
+    def test_dimension_limits(self):
+        with pytest.raises(ValueError):
+            ReedSolomonBlockCodec(0, 5)
+        with pytest.raises(ValueError):
+            ReedSolomonBlockCodec(5, 5)
+        with pytest.raises(ValueError):
+            ReedSolomonBlockCodec(5, 300)
+
+    def test_largest_block_supported(self, rng):
+        codec = ReedSolomonBlockCodec(128, 256)
+        source = make_payloads(rng, 128, length=8)
+        encoded = codec.encode(source)
+        indices = rng.choice(256, size=128, replace=False)
+        assert np.array_equal(codec.decode(indices, encoded[indices]), source)

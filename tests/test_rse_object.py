@@ -1,0 +1,157 @@
+"""Unit tests for the multi-block RSE object codec and its symbolic decoder."""
+
+import numpy as np
+import pytest
+
+from repro.fec import ReedSolomonCode
+
+
+def make_payloads(rng, count, length=16):
+    return [bytes(rng.integers(0, 256, size=length, dtype=np.uint8)) for _ in range(count)]
+
+
+class TestLayout:
+    def test_single_block_object(self):
+        code = ReedSolomonCode(k=50, n=125)
+        assert code.num_blocks == 1
+        assert code.layout.k == 50 and code.layout.n == 125
+        assert code.is_mds
+
+    def test_multi_block_object(self):
+        code = ReedSolomonCode(k=500, n=1250)
+        assert code.num_blocks > 1
+        assert code.layout.k == 500 and code.layout.n == 1250
+        assert code.partition.max_block_n <= 256
+
+
+class TestPayloadRoundtrip:
+    def test_roundtrip_no_loss(self, rng):
+        code = ReedSolomonCode(k=30, n=60)
+        payloads = make_payloads(rng, 30)
+        encoded = code.new_encoder().encode(payloads)
+        assert len(encoded) == 60
+        assert encoded[:30] == payloads
+        decoder = code.new_decoder()
+        complete = False
+        for index, payload in enumerate(encoded[:30]):
+            complete = decoder.add_packet(index, payload)
+        assert complete
+        assert decoder.source_payloads() == payloads
+
+    def test_roundtrip_parity_only(self, rng):
+        code = ReedSolomonCode(k=20, n=60)
+        payloads = make_payloads(rng, 20)
+        encoded = code.new_encoder().encode(payloads)
+        decoder = code.new_decoder()
+        for index in range(20, 60):
+            if decoder.add_packet(index, encoded[index]):
+                break
+        assert decoder.is_complete
+        assert decoder.source_payloads() == payloads
+
+    def test_roundtrip_multi_block_random_subset(self, rng):
+        code = ReedSolomonCode(k=300, n=750)
+        payloads = make_payloads(rng, 300, length=4)
+        encoded = code.new_encoder().encode(payloads)
+        decoder = code.new_decoder()
+        order = rng.permutation(750)
+        for index in order:
+            if decoder.add_packet(int(index), encoded[int(index)]):
+                break
+        assert decoder.is_complete
+        assert decoder.source_payloads() == payloads
+
+    def test_duplicate_packets_ignored(self, rng):
+        code = ReedSolomonCode(k=10, n=25)
+        payloads = make_payloads(rng, 10)
+        encoded = code.new_encoder().encode(payloads)
+        decoder = code.new_decoder()
+        for _ in range(5):
+            decoder.add_packet(0, encoded[0])
+        assert not decoder.is_complete
+
+    def test_mismatched_payload_length_rejected(self, rng):
+        code = ReedSolomonCode(k=10, n=25)
+        payloads = make_payloads(rng, 10)
+        encoded = code.new_encoder().encode(payloads)
+        decoder = code.new_decoder()
+        decoder.add_packet(0, encoded[0])
+        with pytest.raises(ValueError):
+            decoder.add_packet(1, encoded[1][:-1])
+
+    def test_incomplete_decoder_refuses_payloads(self, rng):
+        code = ReedSolomonCode(k=10, n=25)
+        decoder = code.new_decoder()
+        with pytest.raises(RuntimeError):
+            decoder.source_payloads()
+
+    def test_encoder_validates_payload_count(self, rng):
+        code = ReedSolomonCode(k=10, n=25)
+        with pytest.raises(ValueError):
+            code.new_encoder().encode(make_payloads(rng, 9))
+
+
+class TestSymbolicDecoder:
+    def test_mds_property_any_k_packets(self, rng):
+        code = ReedSolomonCode(k=40, n=100)
+        for _ in range(10):
+            decoder = code.new_symbolic_decoder()
+            order = rng.permutation(100)
+            consumed = decoder.add_packets(int(i) for i in order)
+            assert decoder.is_complete
+            # Never more than n, never fewer than k packets.
+            assert 40 <= consumed <= 100
+
+    def test_exactly_k_needed_single_block(self):
+        code = ReedSolomonCode(k=40, n=100)
+        assert code.num_blocks == 1
+        decoder = code.new_symbolic_decoder()
+        consumed = decoder.add_packets(range(100))
+        assert consumed == 40
+
+    def test_multi_block_needs_every_block(self):
+        code = ReedSolomonCode(k=200, n=500)
+        assert code.num_blocks >= 2
+        decoder = code.new_symbolic_decoder()
+        first_block = code.layout.blocks[0]
+        # Receiving the whole first block does not complete the object.
+        for index in first_block.all_indices:
+            decoder.add_packet(int(index))
+        assert not decoder.is_complete
+        assert decoder.decoded_source_count == first_block.k
+
+    def test_duplicates_do_not_count(self):
+        code = ReedSolomonCode(k=10, n=25)
+        decoder = code.new_symbolic_decoder()
+        for _ in range(9):
+            decoder.add_packet(0)
+        assert not decoder.is_complete
+
+    def test_out_of_range_rejected(self):
+        code = ReedSolomonCode(k=10, n=25)
+        decoder = code.new_symbolic_decoder()
+        with pytest.raises(IndexError):
+            decoder.add_packet(25)
+
+    def test_decoded_source_count_partial(self):
+        code = ReedSolomonCode(k=10, n=25)
+        decoder = code.new_symbolic_decoder()
+        decoder.add_packet(0)
+        decoder.add_packet(1)
+        assert decoder.decoded_source_count == 2
+
+    def test_symbolic_agrees_with_payload_decoder(self, rng):
+        code = ReedSolomonCode(k=60, n=150)
+        payloads = make_payloads(rng, 60, length=4)
+        encoded = code.new_encoder().encode(payloads)
+        order = [int(i) for i in rng.permutation(150)]
+        symbolic = code.new_symbolic_decoder()
+        payload_decoder = code.new_decoder()
+        symbolic_needed = symbolic.add_packets(order)
+        needed = None
+        for count, index in enumerate(order, start=1):
+            if payload_decoder.add_packet(index, encoded[index]):
+                needed = count
+                break
+        assert symbolic.is_complete and payload_decoder.is_complete
+        assert needed == symbolic_needed
