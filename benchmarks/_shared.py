@@ -14,12 +14,13 @@ EXPERIMENTS.md records the comparison.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.csvio import grid_to_csv
+from repro.analysis.csvio import grid_to_csv, label_slug
 from repro.analysis.tables import format_grid_table
 from repro.core.experiments import SCALES, ExperimentScale, get_experiment
 from repro.core.metrics import GridResult
@@ -38,6 +39,20 @@ BENCH_SCALE = SCALES["small"]
 BENCH_RUNS = 3
 
 
+def bench_workers() -> Optional[int]:
+    """Worker count for the benchmark harness (``REPRO_BENCH_WORKERS``).
+
+    Results are bit-identical for any worker count (the runner derives
+    per-run seeds from the cell position), so parallelism is purely a
+    wall-clock knob; unset or 1 keeps the serial executor.
+    """
+    value = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
+    if not value:
+        return None
+    workers = int(value)
+    return workers if workers > 1 else None
+
+
 def results_path(name: str) -> Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR / name
@@ -49,8 +64,15 @@ def run_figure_experiment(
     runs: int = BENCH_RUNS,
     scale: ExperimentScale = BENCH_SCALE,
     seed: int = BENCH_SEED,
+    workers: Optional[int] = None,
 ) -> Dict[str, GridResult]:
-    """Run every configuration of a figure preset and persist the grids."""
+    """Run every configuration of a figure preset and persist the grids.
+
+    ``workers`` (default: the ``REPRO_BENCH_WORKERS`` environment variable)
+    fans the grid cells out over the runner's process-pool executor.
+    """
+    if workers is None:
+        workers = bench_workers()
     spec = get_experiment(experiment_id)
     grids: Dict[str, GridResult] = {}
     for config in spec.scaled_configs(scale):
@@ -60,9 +82,10 @@ def run_figure_experiment(
             scale.q_values,
             runs=runs,
             seed=seed,
+            workers=workers,
         )
         grids[config.display_label] = grid
-        slug = config.display_label.replace(" / ", "_").replace(" ", "")
+        slug = label_slug(config.display_label)
         grid_to_csv(grid, results_path(f"{experiment_id}_{slug}.csv"))
     return grids
 

@@ -19,6 +19,10 @@ The package is organised as a set of small, composable subsystems:
     The simulation engine: single runs, (p, q) grid sweeps, experiment
     presets for every figure/table, the n_sent optimiser and the
     recommendation engine of section 6.
+``repro.runner``
+    The parallel experiment-execution engine: deterministic work-unit
+    sharding, serial / process-pool executors, the resumable on-disk
+    result cache and the ``python -m repro`` CLI.
 ``repro.flute``
     A small in-process FLUTE/ALC-like file-delivery substrate showing the
     codes and schedulers in their motivating context.
@@ -57,9 +61,10 @@ from repro.fec import (
     ReedSolomonCode,
     make_code,
 )
+from repro.runner import ProcessExecutor, ResultCache, SerialExecutor, run_grid
 from repro.scheduling import make_tx_model
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BernoulliChannel",
@@ -76,5 +81,9 @@ __all__ = [
     "ReedSolomonCode",
     "make_code",
     "make_tx_model",
+    "ProcessExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "run_grid",
     "__version__",
 ]

@@ -105,4 +105,13 @@ def grid_from_csv(source: Union[PathLike, str]) -> GridResult:
     )
 
 
-__all__ = ["grid_to_csv", "grid_from_csv"]
+def label_slug(label: str) -> str:
+    """Filesystem-friendly slug of a configuration display label.
+
+    Shared by the CLI and the benchmark harness so the CSV grids they write
+    for the same configuration get the same file name.
+    """
+    return label.replace(" / ", "_").replace(" ", "")
+
+
+__all__ = ["grid_to_csv", "grid_from_csv", "label_slug"]

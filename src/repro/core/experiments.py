@@ -24,13 +24,18 @@ so three scales are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.channel.gilbert import PAPER_GRID_PERCENT
 from repro.core.config import SimulationConfig
 from repro.core.metrics import GridResult
 from repro.core.sweep import simulate_grid
+from repro.runner.engine import CacheSpec, ExecutorSpec, ProgressCallback
 from repro.utils.rng import RandomState
+
+#: Callback invoked with the 1-based index of the configuration about to be
+#: simulated; returns the per-grid progress callback for it (or ``None``).
+ProgressFactory = Callable[[int], Optional[ProgressCallback]]
 
 #: Reduced (p, q) axis used by the "small" scale (percent).
 SMALL_GRID_PERCENT: tuple[int, ...] = (0, 1, 5, 10, 20, 40, 70)
@@ -270,6 +275,10 @@ def run_experiment(
     *,
     seed: RandomState = 0,
     runs: Optional[int] = None,
+    executor: ExecutorSpec = None,
+    workers: Optional[int] = None,
+    cache: CacheSpec = None,
+    progress_factory: Optional[ProgressFactory] = None,
 ) -> Dict[str, GridResult]:
     """Run every configuration of an experiment and return grids by label.
 
@@ -282,6 +291,13 @@ def run_experiment(
         :class:`ExperimentScale`.
     runs:
         Override the scale's number of runs per grid point.
+    executor, workers, cache:
+        Execution and caching knobs forwarded to
+        :func:`repro.core.sweep.simulate_grid`; by default the serial
+        executor is used unless ``workers > 1`` selects the process pool.
+    progress_factory:
+        Called with the 1-based index of each configuration before its
+        sweep; returns that sweep's ``(done, total)`` progress callback.
     """
     spec = get_experiment(experiment_id)
     if isinstance(scale, str):
@@ -289,13 +305,18 @@ def run_experiment(
             raise KeyError(f"unknown scale {scale!r}; available: {', '.join(SCALES)}")
         scale = SCALES[scale]
     results: Dict[str, GridResult] = {}
-    for config in spec.scaled_configs(scale):
+    for index, config in enumerate(spec.scaled_configs(scale), start=1):
+        progress = progress_factory(index) if progress_factory is not None else None
         grid = simulate_grid(
             config,
             scale.p_values,
             scale.q_values,
             runs=runs if runs is not None else scale.runs,
             seed=seed,
+            progress=progress,
+            executor=executor,
+            workers=workers,
+            cache=cache,
         )
         results[config.display_label] = grid
     return results

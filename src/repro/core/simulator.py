@@ -22,6 +22,7 @@ from repro.core.metrics import RunResult
 from repro.fec.base import FECCode
 from repro.scheduling.base import TransmissionModel
 from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import validate_positive_int
 
 
 class Simulator:
@@ -59,9 +60,7 @@ class Simulator:
         schedule = self.tx_model.schedule(layout, rng)
         schedule = self.tx_model.validate_schedule(layout, schedule)
         if nsent is not None:
-            if nsent <= 0:
-                raise ValueError(f"nsent must be positive, got {nsent}")
-            schedule = schedule[: int(nsent)]
+            schedule = schedule[: validate_positive_int(nsent, "nsent")]
 
         loss_mask = self.channel.loss_mask(schedule.size, rng)
         received = schedule[~loss_mask]

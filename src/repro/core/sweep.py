@@ -4,22 +4,29 @@
 table of the paper: for every (p, q) point it runs ``runs`` independent
 transmissions and aggregates them following the paper's rule (a point where
 any run failed to decode is reported as not decodable).
+
+Both sweeps are thin wrappers over the execution engine in
+:mod:`repro.runner.engine`, which shards a sweep into independent work
+units, optionally fans them out over a process pool (``executor="process"``,
+``workers=N``) and caches finished cells on disk (``cache=...``).  Every
+run draws from ``SeedSequence([base_seed, *cell, run])``, so results are
+bit-identical across executors and cache states.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
-import numpy as np
-
-from repro.channel.gilbert import GilbertChannel, paper_grid
 from repro.core.config import SimulationConfig
-from repro.core.metrics import CellStats, GridResult, SeriesResult
-from repro.core.simulator import Simulator
+from repro.core.metrics import GridResult, SeriesResult
+from repro.runner.engine import (
+    CacheSpec,
+    ExecutorSpec,
+    ProgressCallback,
+    run_grid,
+    run_series,
+)
 from repro.utils.rng import RandomState
-from repro.utils.validation import validate_positive_int
-
-ProgressCallback = Callable[[int, int], None]
 
 
 def simulate_grid(
@@ -31,6 +38,9 @@ def simulate_grid(
     seed: RandomState = 0,
     fresh_code_per_run: bool = False,
     progress: Optional[ProgressCallback] = None,
+    executor: ExecutorSpec = None,
+    workers: Optional[int] = None,
+    cache: CacheSpec = None,
 ) -> GridResult:
     """Sweep the Gilbert (p, q) grid for one configuration.
 
@@ -52,65 +62,30 @@ def simulate_grid(
         to averaging over code constructions.
     progress:
         Optional callback ``(done_points, total_points)``.
+    executor:
+        ``"serial"``, ``"process"`` for a multiprocessing pool, an executor
+        instance from :mod:`repro.runner.executors`, or ``None`` (default)
+        to pick the process pool when ``workers > 1`` and the serial
+        executor otherwise.
+    workers:
+        Pool size for the process executor (defaults to the CPU count).
+    cache:
+        A :class:`repro.runner.ResultCache`, a cache-directory path, or
+        ``None`` (default) to disable caching.  With a cache, completed
+        grid cells are skipped on re-runs, making interrupted sweeps
+        resumable.
     """
-    runs = validate_positive_int(runs, "runs")
-    if p_values is None or q_values is None:
-        default_p, default_q = paper_grid()
-        p_values = default_p if p_values is None else p_values
-        q_values = default_q if q_values is None else q_values
-    p_values = np.asarray(list(p_values), dtype=float)
-    q_values = np.asarray(list(q_values), dtype=float)
-
-    base_seed = _as_seed_int(seed)
-    tx_model = config.build_tx_model()
-    shared_code = None
-    if not fresh_code_per_run:
-        shared_code = config.build_code(seed=np.random.default_rng(base_seed))
-
-    shape = (p_values.size, q_values.size)
-    mean_inefficiency = np.full(shape, np.nan)
-    mean_received = np.full(shape, np.nan)
-    failure_counts = np.zeros(shape, dtype=np.int64)
-
-    total_points = p_values.size * q_values.size
-    done = 0
-    for i, p in enumerate(p_values):
-        for j, q in enumerate(q_values):
-            channel = GilbertChannel(float(p), float(q))
-            stats = CellStats()
-            for run in range(runs):
-                run_rng = np.random.default_rng(
-                    np.random.SeedSequence([base_seed, i, j, run])
-                )
-                if fresh_code_per_run:
-                    code = config.build_code(seed=run_rng)
-                else:
-                    code = shared_code
-                simulator = Simulator(code, tx_model, channel)
-                stats.add(simulator.run(run_rng, nsent=config.nsent))
-            mean_inefficiency[i, j] = stats.mean_inefficiency
-            mean_received[i, j] = stats.mean_received_ratio
-            failure_counts[i, j] = stats.failures
-            done += 1
-            if progress is not None:
-                progress(done, total_points)
-
-    return GridResult(
-        p_values=p_values,
-        q_values=q_values,
-        mean_inefficiency=mean_inefficiency,
-        mean_received_ratio=mean_received,
-        failure_counts=failure_counts,
+    return run_grid(
+        config,
+        p_values,
+        q_values,
         runs=runs,
-        label=config.display_label,
-        metadata={
-            "code": config.code,
-            "tx_model": config.tx_model,
-            "k": config.k,
-            "expansion_ratio": config.expansion_ratio,
-            "nsent": config.nsent,
-            "seed": base_seed,
-        },
+        seed=seed,
+        fresh_code_per_run=fresh_code_per_run,
+        progress=progress,
+        executor=executor,
+        workers=workers,
+        cache=cache,
     )
 
 
@@ -123,12 +98,22 @@ def sweep_parameter(
     q: float = 1.0,
     runs: int = 10,
     seed: RandomState = 0,
+    fresh_code_per_run: bool = False,
+    progress: Optional[ProgressCallback] = None,
+    executor: ExecutorSpec = None,
+    workers: Optional[int] = None,
+    cache: CacheSpec = None,
     label: str = "",
 ) -> SeriesResult:
     """Sweep an arbitrary scalar parameter at a fixed (p, q) point.
 
     Used for figure 14 (inefficiency vs. number of received source packets)
     and for the ablation benchmarks (e.g. left degree of the LDGM graph).
+
+    Each index of the sweep builds its shared code from
+    ``SeedSequence([base_seed, index])``, so neighbouring indices get
+    provably disjoint code streams (the historical ``base_seed + index``
+    scheme could collide across sweeps).
 
     Parameters
     ----------
@@ -138,48 +123,30 @@ def sweep_parameter(
         Values to sweep.
     p, q:
         Gilbert channel parameters shared by every point of the sweep.
+    fresh_code_per_run:
+        Rebuild the FEC code from the run stream for every run.
+    progress:
+        Optional callback ``(done_points, total_points)``.
+    executor, workers, cache:
+        Execution/caching knobs, as in :func:`simulate_grid`.
     """
-    runs = validate_positive_int(runs, "runs")
-    base_seed = _as_seed_int(seed)
-    values = np.asarray(list(parameter_values), dtype=float)
-    means = np.full(values.size, np.nan)
-    failures = np.zeros(values.size, dtype=np.int64)
-
-    for index, value in enumerate(values):
-        config = make_config(float(value))
-        channel = GilbertChannel(p, q)
-        tx_model = config.build_tx_model()
-        code = config.build_code(seed=np.random.default_rng(base_seed + index))
-        stats = CellStats()
-        for run in range(runs):
-            run_rng = np.random.default_rng(
-                np.random.SeedSequence([base_seed, index, run])
-            )
-            simulator = Simulator(code, tx_model, channel)
-            stats.add(simulator.run(run_rng, nsent=config.nsent))
-        means[index] = stats.mean_inefficiency
-        failures[index] = stats.failures
-
-    return SeriesResult(
+    values = [float(value) for value in parameter_values]
+    configs = [make_config(value) for value in values]
+    return run_series(
+        configs,
+        values,
         parameter_name=parameter_name,
-        parameter_values=values,
-        mean_inefficiency=means,
-        failure_counts=failures,
+        p=p,
+        q=q,
         runs=runs,
+        seed=seed,
+        fresh_code_per_run=fresh_code_per_run,
+        progress=progress,
+        executor=executor,
+        workers=workers,
+        cache=cache,
         label=label,
     )
-
-
-def _as_seed_int(seed: RandomState) -> int:
-    if seed is None:
-        return 0
-    if isinstance(seed, (int, np.integer)):
-        return int(seed)
-    if isinstance(seed, np.random.SeedSequence):
-        return int(seed.generate_state(1, dtype=np.uint64)[0])
-    if isinstance(seed, np.random.Generator):
-        return int(seed.integers(0, 2**31 - 1))
-    raise TypeError(f"unsupported seed type {type(seed).__name__}")
 
 
 __all__ = ["simulate_grid", "sweep_parameter"]

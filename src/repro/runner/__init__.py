@@ -1,0 +1,38 @@
+"""Parallel experiment-execution engine.
+
+The runner turns the library's sweeps into batches of independent,
+picklable work units, executes them serially or on a process pool, caches
+finished units on disk and reassembles the historical result containers --
+bit-identically, whatever the execution strategy:
+
+* :mod:`repro.runner.units` -- the work-unit model and seed derivation.
+* :mod:`repro.runner.executors` -- serial and process-pool executors.
+* :mod:`repro.runner.cache` -- the resumable on-disk result cache.
+* :mod:`repro.runner.engine` -- planning, caching, execution, aggregation.
+* :mod:`repro.runner.cli` -- the ``python -m repro`` command-line front end.
+
+The public sweep API (``repro.core.sweep``), the experiment presets and
+the benchmark harness are thin wrappers over :func:`run_grid` /
+:func:`run_series`.
+"""
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache, unit_key
+from repro.runner.engine import run_grid, run_series
+from repro.runner.executors import ProcessExecutor, SerialExecutor, resolve_executor
+from repro.runner.units import UnitResult, WorkUnit, execute_unit, plan_units
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "CacheStats",
+    "ResultCache",
+    "unit_key",
+    "run_grid",
+    "run_series",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "resolve_executor",
+    "UnitResult",
+    "WorkUnit",
+    "execute_unit",
+    "plan_units",
+]

@@ -1,0 +1,189 @@
+"""On-disk result cache of the experiment-execution engine.
+
+Every executed :class:`~repro.runner.units.WorkUnit` is stored as one small
+JSON file under a cache root (``.repro_cache/`` by default), keyed by a
+SHA-256 hash of the canonical description of the unit: the code-defining
+fields of its :class:`~repro.core.config.SimulationConfig`, the channel
+point, the run range, the seed derivation and a format version.  Because
+the per-run seeds are pure functions of that description, a cache hit is
+guaranteed to contain exactly what re-simulating would have produced, which
+makes interrupted sweeps resumable: re-running an experiment skips every
+cell that already completed and simulates only the missing ones.
+
+JSON serialises floats via ``repr`` (shortest round-trip form), so ratios
+reloaded from the cache are bit-identical to freshly computed ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.config import SimulationConfig
+from repro.runner.units import UnitResult, WorkUnit
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Bump when the unit result format or the seed scheme changes.
+CACHE_FORMAT_VERSION = 1
+
+
+def config_token(config: SimulationConfig) -> str:
+    """Canonical JSON token of the result-defining fields of a config.
+
+    The display ``label`` is excluded: relabelling a configuration must not
+    invalidate its cached results.
+    """
+    payload = {
+        "code": config.code,
+        "tx_model": config.tx_model,
+        "k": config.k,
+        "expansion_ratio": config.expansion_ratio,
+        "nsent": config.nsent,
+        "code_options": config.code_options,
+        "tx_options": config.tx_options,
+    }
+    return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def unit_key(unit: WorkUnit) -> str:
+    """Stable SHA-256 cache key of one work unit."""
+    payload = {
+        "version": CACHE_FORMAT_VERSION,
+        "config": config_token(unit.config),
+        "p": unit.p,
+        "q": unit.q,
+        "seed_path": list(unit.seed_path),
+        "run_start": unit.run_start,
+        "run_stop": unit.run_stop,
+        "base_seed": unit.base_seed,
+        "fresh_code_per_run": unit.fresh_code_per_run,
+        "code_seed_path": None
+        if unit.code_seed_path is None
+        else list(unit.code_seed_path),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return digest
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+
+class ResultCache:
+    """File-per-unit result cache under a root directory.
+
+    Entries are sharded into 256 subdirectories by the first two hex digits
+    of the key to keep directory listings small at paper scale (a 14 x 14
+    grid times six configurations is ~1200 cells per figure).
+    Writes go through a temporary file plus ``os.replace`` so a crashed or
+    killed run never leaves a truncated entry behind.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, unit: WorkUnit) -> Optional[UnitResult]:
+        """Return the cached result of ``unit``, or ``None`` on a miss."""
+        path = self._path(unit_key(unit))
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            result = UnitResult(
+                seed_path=tuple(payload["seed_path"]),
+                run_start=int(payload["run_start"]),
+                run_stop=int(payload["run_stop"]),
+                inefficiency_ratios=tuple(payload["inefficiency_ratios"]),
+                received_ratios=tuple(payload["received_ratios"]),
+                failures=int(payload["failures"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            # A truncated, hand-edited or otherwise malformed entry is a
+            # miss: re-simulating one cell beats aborting a resumable sweep.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, unit: WorkUnit, result: UnitResult) -> None:
+        """Persist the result of one executed unit."""
+        path = self._path(unit_key(unit))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "seed_path": list(result.seed_path),
+            "run_start": result.run_start,
+            "run_stop": result.run_stop,
+            "inefficiency_ratios": list(result.inefficiency_ratios),
+            "received_ratios": list(result.received_ratios),
+            "failures": result.failures,
+        }
+        handle, tmp_path = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of the cache entries."""
+        if not self.root.is_dir():
+            return 0
+        return sum(path.stat().st_size for path in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("??/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for shard in self.root.glob("??"):
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        return removed
+
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "config_token",
+    "unit_key",
+]

@@ -1,0 +1,265 @@
+"""Command-line front end: ``python -m repro``.
+
+Subcommands
+-----------
+``list-experiments``
+    Table of every figure/table preset and the available scales.
+``run``
+    Execute one experiment preset at a chosen scale, with ``--workers``
+    for process-pool parallelism, the on-disk result cache for resumable
+    runs (``--no-cache`` to disable), and optional CSV / appendix-style
+    table output through the analysis layer.
+``cache``
+    Inspect (``cache info``) or empty (``cache clear``) the result cache.
+
+Examples
+--------
+::
+
+    python -m repro list-experiments
+    python -m repro run fig09 --scale tiny --workers 4
+    python -m repro run table5 --scale small --runs 2 --csv-dir results/
+    python -m repro cache info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.csvio import grid_to_csv, label_slug
+from repro.analysis.tables import format_grid_table
+from repro.core.experiments import (
+    EXPERIMENTS,
+    SCALES,
+    TABLE_TO_EXPERIMENT,
+    get_experiment,
+    run_experiment,
+)
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce the figures and tables of Neumann et al. (2005) with "
+            "the parallel experiment-execution engine."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "list-experiments", help="list experiment presets and scales"
+    )
+
+    run = subparsers.add_parser("run", help="run one experiment preset")
+    run.add_argument(
+        "experiment",
+        help="experiment or table id (e.g. fig09, table5); see list-experiments",
+    )
+    run.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES),
+        help="experiment scale (default: small)",
+    )
+    run.add_argument("--runs", type=int, default=None, help="override runs per grid point")
+    run.add_argument("--seed", type=int, default=0, help="top-level seed (default: 0)")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size; omit or 1 for the serial executor",
+    )
+    run.add_argument(
+        "--executor",
+        choices=("serial", "process"),
+        default=None,
+        help="force an executor (default: process when --workers > 1)",
+    )
+    cache_group = run.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--resume",
+        action="store_true",
+        help="use the on-disk result cache to skip completed cells (default)",
+    )
+    cache_group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache entirely",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    run.add_argument(
+        "--csv-dir",
+        default=None,
+        help="write one CSV grid per configuration into this directory",
+    )
+    run.add_argument(
+        "--table",
+        action="store_true",
+        help="print the full appendix-style table for every configuration",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress the progress meter"
+    )
+
+    cache = subparsers.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+
+    return parser
+
+
+def _cmd_list_experiments(out) -> int:
+    print("Experiments:", file=out)
+    for experiment_id in sorted(EXPERIMENTS):
+        spec = EXPERIMENTS[experiment_id]
+        print(
+            f"  {experiment_id:8s} {spec.paper_reference:22s} "
+            f"{len(spec.configs):2d} configs  {spec.title}",
+            file=out,
+        )
+    print("\nAppendix tables:", file=out)
+    for table_id in sorted(TABLE_TO_EXPERIMENT):
+        experiment_id, code, ratio = TABLE_TO_EXPERIMENT[table_id]
+        print(
+            f"  {table_id:8s} -> {experiment_id} ({code}, ratio {ratio})", file=out
+        )
+    print("\nScales:", file=out)
+    for name in ("tiny", "small", "paper"):
+        scale = SCALES[name]
+        grid = len(scale.grid_percent)
+        print(
+            f"  {name:6s} k={scale.k:<6d} runs={scale.runs:<4d} grid={grid}x{grid}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_run(args, out, err) -> int:
+    spec = get_experiment(args.experiment)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    total_configs = len(spec.configs)
+
+    print(
+        f"{spec.paper_reference}: {spec.title}\n"
+        f"scale={args.scale} seed={args.seed} "
+        f"workers={args.workers or 1} cache={'off' if cache is None else args.cache_dir}",
+        file=out,
+    )
+
+    started = time.perf_counter()
+    config_index = 0
+
+    def progress(done: int, total: int) -> None:
+        if args.quiet:
+            return
+        print(
+            f"\r  config {config_index}/{total_configs}: {done}/{total} grid points",
+            end="",
+            file=err,
+            flush=True,
+        )
+
+    def per_config_progress(index: int):
+        nonlocal config_index
+        config_index = index
+        return progress
+
+    results = run_experiment(
+        args.experiment,
+        scale=args.scale,
+        seed=args.seed,
+        runs=args.runs,
+        executor=args.executor,
+        workers=args.workers,
+        cache=cache,
+        progress_factory=per_config_progress,
+    )
+    if not args.quiet:
+        print(file=err)
+    elapsed = time.perf_counter() - started
+
+    for label, grid in results.items():
+        print(
+            f"  {label:55s} inefficiency {grid.min_inefficiency():.3f}"
+            f"..{grid.max_inefficiency():.3f} "
+            f"(mean {grid.mean_over_decodable():.3f}), "
+            f"decodable on {grid.coverage:.0%} of the grid",
+            file=out,
+        )
+    if args.table:
+        for label, grid in results.items():
+            print(file=out)
+            print(format_grid_table(grid, title=label), file=out)
+
+    if args.csv_dir is not None:
+        csv_dir = Path(args.csv_dir)
+        csv_dir.mkdir(parents=True, exist_ok=True)
+        for label, grid in results.items():
+            destination = csv_dir / f"{spec.experiment_id}_{label_slug(label)}.csv"
+            grid_to_csv(grid, destination)
+            print(f"  wrote {destination}", file=out)
+
+    summary = f"done in {elapsed:.1f}s"
+    if cache is not None:
+        summary += (
+            f" (cache: {cache.stats.hits} hits, {cache.stats.misses} misses,"
+            f" {cache.stats.writes} writes)"
+        )
+    print(summary, file=out)
+    return 0
+
+
+def _cmd_cache(args, out) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "info":
+        entries = len(cache)
+        print(
+            f"cache {cache.root}: {entries} entries, "
+            f"{cache.size_bytes() / 1024:.1f} KiB",
+            file=out,
+        )
+        return 0
+    removed = cache.clear()
+    print(f"cache {cache.root}: removed {removed} entries", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    out, err = sys.stdout, sys.stderr
+    try:
+        if args.command == "list-experiments":
+            return _cmd_list_experiments(out)
+        if args.command == "run":
+            return _cmd_run(args, out, err)
+        if args.command == "cache":
+            return _cmd_cache(args, out)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=err)
+        return 2
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=err)
+        return 2
+    except KeyboardInterrupt:
+        print("\ninterrupted (completed cells are cached; rerun to resume)", file=err)
+        return 130
+    return 0
+
+
+__all__ = ["main"]

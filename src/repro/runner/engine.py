@@ -1,0 +1,273 @@
+"""Sweep orchestration: plan units, consult the cache, execute, aggregate.
+
+This is the layer the public sweep API (:mod:`repro.core.sweep`), the
+experiment presets (:mod:`repro.core.experiments`), the benchmark harness
+and the ``python -m repro`` CLI all sit on.  It owns the sequencing:
+
+1. shard the sweep into :class:`~repro.runner.units.WorkUnit` cells,
+2. satisfy what it can from the :class:`~repro.runner.cache.ResultCache`,
+3. hand the remaining units to an executor (serial or process pool),
+4. write fresh results back to the cache as they stream in,
+5. aggregate the cells into the same :class:`~repro.core.metrics.GridResult`
+   / :class:`~repro.core.metrics.SeriesResult` containers the serial loops
+   have always produced -- bit-identical for a given seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.channel.gilbert import paper_grid
+from repro.core.config import SimulationConfig
+from repro.core.metrics import GridResult, SeriesResult
+from repro.runner.cache import ResultCache
+from repro.runner.executors import Executor, resolve_executor
+from repro.runner.units import (
+    SeedPath,
+    UnitResult,
+    WorkUnit,
+    merge_cell,
+    plan_units,
+)
+from repro.utils.rng import RandomState, as_seed_int
+from repro.utils.validation import validate_positive_int
+
+ProgressCallback = Callable[[int, int], None]
+
+#: ``executor=`` accepts a name, an instance, or None (auto from workers).
+ExecutorSpec = Union[str, Executor, None]
+
+#: ``cache=`` accepts a ready cache, a directory path, or None (disabled).
+CacheSpec = Union[ResultCache, str, None]
+
+
+def _resolve_cache(cache: CacheSpec) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def _execute(
+    units: Sequence[WorkUnit],
+    *,
+    executor: ExecutorSpec,
+    workers: Optional[int],
+    cache: Optional[ResultCache],
+    progress: Optional[ProgressCallback],
+    total_cells: int,
+) -> Dict[Tuple[SeedPath, int], UnitResult]:
+    """Run a planned unit list through cache + executor.
+
+    Results are keyed by ``(seed_path, run_start)``.  Progress is reported
+    in completed *cells* (sweep points), the unit the historical progress
+    callback used; cached cells count as done immediately.
+    """
+    results: Dict[Tuple[SeedPath, int], UnitResult] = {}
+    units_per_cell: Dict[SeedPath, int] = {}
+    for unit in units:
+        units_per_cell[unit.seed_path] = units_per_cell.get(unit.seed_path, 0) + 1
+
+    done_units_per_cell: Dict[SeedPath, int] = {}
+    done_cells = 0
+
+    def note_done(seed_path: SeedPath) -> None:
+        nonlocal done_cells
+        done_units_per_cell[seed_path] = done_units_per_cell.get(seed_path, 0) + 1
+        if done_units_per_cell[seed_path] == units_per_cell[seed_path]:
+            done_cells += 1
+            if progress is not None:
+                progress(done_cells, total_cells)
+
+    pending: List[WorkUnit] = []
+    for unit in units:
+        cached = cache.get(unit) if cache is not None else None
+        if cached is not None:
+            results[(unit.seed_path, unit.run_start)] = cached
+            note_done(unit.seed_path)
+        else:
+            pending.append(unit)
+
+    if pending:
+        unit_by_key = {(unit.seed_path, unit.run_start): unit for unit in pending}
+
+        def on_result(result: UnitResult) -> None:
+            key = (result.seed_path, result.run_start)
+            results[key] = result
+            if cache is not None:
+                cache.put(unit_by_key[key], result)
+            note_done(result.seed_path)
+
+        resolve_executor(executor, workers).run(pending, on_result)
+
+    return results
+
+
+def _cell_results(
+    results: Dict[Tuple[SeedPath, int], UnitResult], seed_path: SeedPath
+) -> List[UnitResult]:
+    return [result for key, result in results.items() if key[0] == seed_path]
+
+
+def run_grid(
+    config: SimulationConfig,
+    p_values: Optional[Sequence[float]] = None,
+    q_values: Optional[Sequence[float]] = None,
+    *,
+    runs: int = 10,
+    seed: RandomState = 0,
+    fresh_code_per_run: bool = False,
+    progress: Optional[ProgressCallback] = None,
+    executor: ExecutorSpec = "serial",
+    workers: Optional[int] = None,
+    cache: CacheSpec = None,
+    runs_per_unit: Optional[int] = None,
+) -> GridResult:
+    """Sweep the Gilbert (p, q) grid for one configuration.
+
+    Seed-compatible with the historical serial ``simulate_grid``: every
+    (i, j, run) triple draws from ``SeedSequence([base_seed, i, j, run])``
+    and the shared code is built from ``default_rng(base_seed)``, so any
+    executor/cache combination returns bit-identical arrays.
+    """
+    runs = validate_positive_int(runs, "runs")
+    if p_values is None or q_values is None:
+        default_p, default_q = paper_grid()
+        p_values = default_p if p_values is None else p_values
+        q_values = default_q if q_values is None else q_values
+    p_values = np.asarray(list(p_values), dtype=float)
+    q_values = np.asarray(list(q_values), dtype=float)
+
+    base_seed = as_seed_int(seed)
+    cells = [
+        ((i, j), config, float(p), float(q))
+        for i, p in enumerate(p_values)
+        for j, q in enumerate(q_values)
+    ]
+    units = plan_units(
+        cells,
+        runs=runs,
+        base_seed=base_seed,
+        fresh_code_per_run=fresh_code_per_run,
+        runs_per_unit=runs_per_unit,
+    )
+    results = _execute(
+        units,
+        executor=executor,
+        workers=workers,
+        cache=_resolve_cache(cache),
+        progress=progress,
+        total_cells=len(cells),
+    )
+
+    shape = (p_values.size, q_values.size)
+    mean_inefficiency = np.full(shape, np.nan)
+    mean_received = np.full(shape, np.nan)
+    failure_counts = np.zeros(shape, dtype=np.int64)
+    for i in range(p_values.size):
+        for j in range(q_values.size):
+            inefficiency, received, failures = merge_cell(
+                _cell_results(results, (i, j))
+            )
+            mean_inefficiency[i, j] = inefficiency
+            mean_received[i, j] = received
+            failure_counts[i, j] = failures
+
+    return GridResult(
+        p_values=p_values,
+        q_values=q_values,
+        mean_inefficiency=mean_inefficiency,
+        mean_received_ratio=mean_received,
+        failure_counts=failure_counts,
+        runs=runs,
+        label=config.display_label,
+        metadata={
+            "code": config.code,
+            "tx_model": config.tx_model,
+            "k": config.k,
+            "expansion_ratio": config.expansion_ratio,
+            "nsent": config.nsent,
+            "seed": base_seed,
+        },
+    )
+
+
+def run_series(
+    configs: Sequence[SimulationConfig],
+    parameter_values: Sequence[float],
+    *,
+    parameter_name: str = "parameter",
+    p: float = 0.0,
+    q: float = 1.0,
+    runs: int = 10,
+    seed: RandomState = 0,
+    fresh_code_per_run: bool = False,
+    progress: Optional[ProgressCallback] = None,
+    executor: ExecutorSpec = "serial",
+    workers: Optional[int] = None,
+    cache: CacheSpec = None,
+    runs_per_unit: Optional[int] = None,
+    label: str = "",
+) -> SeriesResult:
+    """Sweep a pre-built list of configurations at a fixed (p, q) point.
+
+    ``configs[index]`` is evaluated with run seeds
+    ``SeedSequence([base_seed, index, run])`` and a per-index shared code
+    built from ``SeedSequence([base_seed, index])``.  Configurations are
+    materialised by the caller (rather than passing a factory callable) so
+    units stay picklable for the process-pool executor.
+    """
+    runs = validate_positive_int(runs, "runs")
+    if len(configs) != len(parameter_values):
+        raise ValueError(
+            f"got {len(configs)} configs for {len(parameter_values)} parameter values"
+        )
+    base_seed = as_seed_int(seed)
+    values = np.asarray(list(parameter_values), dtype=float)
+    cells = [
+        ((index,), config, float(p), float(q)) for index, config in enumerate(configs)
+    ]
+    units = plan_units(
+        cells,
+        runs=runs,
+        base_seed=base_seed,
+        fresh_code_per_run=fresh_code_per_run,
+        code_seed_by_path=True,
+        runs_per_unit=runs_per_unit,
+    )
+    results = _execute(
+        units,
+        executor=executor,
+        workers=workers,
+        cache=_resolve_cache(cache),
+        progress=progress,
+        total_cells=len(cells),
+    )
+
+    means = np.full(values.size, np.nan)
+    failures = np.zeros(values.size, dtype=np.int64)
+    for index in range(values.size):
+        mean_inefficiency, _received, cell_failures = merge_cell(
+            _cell_results(results, (index,))
+        )
+        means[index] = mean_inefficiency
+        failures[index] = cell_failures
+
+    return SeriesResult(
+        parameter_name=parameter_name,
+        parameter_values=values,
+        mean_inefficiency=means,
+        failure_counts=failures,
+        runs=runs,
+        label=label,
+    )
+
+
+__all__ = [
+    "ProgressCallback",
+    "ExecutorSpec",
+    "CacheSpec",
+    "run_grid",
+    "run_series",
+]

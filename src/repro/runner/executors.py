@@ -1,0 +1,143 @@
+"""Executors: strategies for running a batch of work units.
+
+Two strategies are provided behind one tiny interface
+(``run(units, on_result)``):
+
+* :class:`SerialExecutor` runs units in order in the calling process --
+  zero overhead, and the unit order (hence the progress-callback order)
+  matches the historical serial sweep loops exactly.
+* :class:`ProcessExecutor` fans units out over a
+  ``concurrent.futures.ProcessPoolExecutor`` in chunks.  Because every
+  unit derives its own seeds, completion order does not matter: the engine
+  reassembles cells by their ``seed_path``, so parallel results are
+  bit-identical to serial ones.
+
+``on_result`` is always invoked in the calling process (for the process
+pool: as futures complete), which is what bridges worker progress back to
+the user's progress callback and lets the engine write the result cache
+from a single process.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Optional, Protocol, Sequence, Union
+
+from repro.runner.units import UnitResult, WorkUnit, execute_unit, execute_units
+from repro.utils.validation import validate_positive_int
+
+OnResult = Callable[[UnitResult], None]
+
+
+class Executor(Protocol):
+    """Anything that can execute work units and stream back results."""
+
+    def run(self, units: Sequence[WorkUnit], on_result: OnResult) -> None: ...
+
+
+class SerialExecutor:
+    """Execute units one after the other in the calling process."""
+
+    def run(self, units: Sequence[WorkUnit], on_result: OnResult) -> None:
+        for unit in units:
+            on_result(execute_unit(unit))
+
+
+class ProcessExecutor:
+    """Execute units on a process pool with chunked dispatch.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    chunk_size:
+        Units per task sent to a worker.  The default targets about four
+        chunks per worker, which amortises pickling overhead while keeping
+        the pool balanced when cells have very different costs (decoding
+        failures are much cheaper than successes).
+    max_pending:
+        Cap on in-flight chunks, so planning a paper-scale sweep does not
+        enqueue tens of thousands of futures at once.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        chunk_size: Optional[int] = None,
+        max_pending: Optional[int] = None,
+    ):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        self.workers = validate_positive_int(workers, "workers")
+        if chunk_size is not None:
+            chunk_size = validate_positive_int(chunk_size, "chunk_size")
+        self.chunk_size = chunk_size
+        self.max_pending = (
+            validate_positive_int(max_pending, "max_pending")
+            if max_pending is not None
+            else 4 * self.workers
+        )
+
+    def _chunks(self, units: Sequence[WorkUnit]) -> list[list[WorkUnit]]:
+        if self.chunk_size is not None:
+            size = self.chunk_size
+        else:
+            size = max(1, len(units) // (4 * self.workers))
+        return [list(units[i : i + size]) for i in range(0, len(units), size)]
+
+    def run(self, units: Sequence[WorkUnit], on_result: OnResult) -> None:
+        if not units:
+            return
+        chunks = self._chunks(units)
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(chunks))) as pool:
+            pending = set()
+            queued = iter(chunks)
+            exhausted = False
+            while pending or not exhausted:
+                while not exhausted and len(pending) < self.max_pending:
+                    chunk = next(queued, None)
+                    if chunk is None:
+                        exhausted = True
+                        break
+                    pending.add(pool.submit(execute_units, chunk))
+                if not pending:
+                    break
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    for result in future.result():
+                        on_result(result)
+
+
+def resolve_executor(
+    executor: Union[str, Executor, None],
+    workers: Optional[int] = None,
+) -> Executor:
+    """Build an executor from the user-facing ``executor``/``workers`` knobs.
+
+    ``executor`` may be an executor instance (returned as-is), ``"serial"``,
+    ``"process"``, or ``None`` -- which picks the process pool when more
+    than one worker was requested and the serial path otherwise.
+    """
+    if executor is None:
+        executor = "process" if workers is not None and workers > 1 else "serial"
+    if not isinstance(executor, str):
+        return executor
+    name = executor.lower()
+    if name == "serial":
+        return SerialExecutor()
+    if name == "process":
+        return ProcessExecutor(workers)
+    raise ValueError(
+        f"unknown executor {executor!r}; available: 'serial', 'process'"
+    )
+
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "OnResult",
+]

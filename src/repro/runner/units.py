@@ -1,0 +1,237 @@
+"""Work-unit model of the parallel experiment-execution engine.
+
+A sweep -- a (p, q) grid or a 1-D parameter series -- is sharded into
+independent :class:`WorkUnit` cells, each covering one point of the sweep
+and a contiguous range of runs.  Every run derives its generator from
+``SeedSequence([base_seed, *seed_path, run])``, which is exactly the scheme
+the serial sweeps in :mod:`repro.core.sweep` have always used
+(``[base_seed, i, j, run]`` for grids, ``[base_seed, index, run]`` for
+series), so executing the units serially, in parallel, or reloading them
+from the on-disk cache produces bit-identical results.
+
+Units are plain picklable dataclasses: they cross process boundaries for
+the process-pool executor and are hashed into cache keys by
+:mod:`repro.runner.cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.gilbert import GilbertChannel
+from repro.core.config import SimulationConfig
+from repro.core.simulator import Simulator
+
+#: Cell identifier inside one sweep: ``(i, j)`` for grids, ``(index,)`` for
+#: 1-D series.  It doubles as the seed salt, so two cells of the same sweep
+#: never share a random stream.
+SeedPath = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent shard of a sweep: a cell and a contiguous run range.
+
+    Attributes
+    ----------
+    config:
+        Full simulation configuration for this cell (already specialised:
+        for parameter sweeps the swept value is baked in).
+    p, q:
+        Gilbert channel parameters of the cell.
+    seed_path:
+        Position of the cell inside the sweep, mixed into every run seed.
+    run_start, run_stop:
+        Half-open range of run indices covered by this unit.
+    base_seed:
+        Normalised top-level seed of the sweep.
+    fresh_code_per_run:
+        Rebuild the FEC code from the run generator for every run (instead
+        of reusing one code built from the code seed).
+    code_seed_path:
+        Salt for the shared code seed: ``None`` builds the code from
+        ``default_rng(base_seed)`` (the grid sweep's historical behaviour),
+        a tuple builds it from ``SeedSequence([base_seed, *path])`` (used by
+        parameter sweeps so neighbouring indices cannot collide).
+    """
+
+    config: SimulationConfig
+    p: float
+    q: float
+    seed_path: SeedPath
+    run_start: int
+    run_stop: int
+    base_seed: int
+    fresh_code_per_run: bool = False
+    code_seed_path: Optional[SeedPath] = None
+
+    @property
+    def runs(self) -> int:
+        return self.run_stop - self.run_start
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """Raw per-run outcomes of one executed :class:`WorkUnit`.
+
+    The per-run ratio lists (not their means) are kept so that results of
+    run-sharded units can be re-concatenated in run order and aggregated
+    exactly as the serial loop would have; ``inefficiency_ratios`` only
+    contains the decoded runs, matching :class:`repro.core.metrics.CellStats`.
+    """
+
+    seed_path: SeedPath
+    run_start: int
+    run_stop: int
+    inefficiency_ratios: Tuple[float, ...]
+    received_ratios: Tuple[float, ...]
+    failures: int
+
+
+def plan_units(
+    configs: Sequence[Tuple[SeedPath, SimulationConfig, float, float]],
+    *,
+    runs: int,
+    base_seed: int,
+    fresh_code_per_run: bool = False,
+    code_seed_by_path: bool = False,
+    runs_per_unit: Optional[int] = None,
+) -> List[WorkUnit]:
+    """Shard a sweep into work units.
+
+    Parameters
+    ----------
+    configs:
+        One ``(seed_path, config, p, q)`` tuple per cell, in sweep order.
+    runs_per_unit:
+        Split each cell into units of at most this many runs; ``None``
+        keeps one unit per cell (the cache granularity used by default).
+    code_seed_by_path:
+        Derive each cell's shared code seed from its ``seed_path`` instead
+        of the sweep-wide ``base_seed`` (parameter-sweep behaviour).
+    """
+    chunk = runs if runs_per_unit is None else max(1, int(runs_per_unit))
+    units: List[WorkUnit] = []
+    for seed_path, config, p, q in configs:
+        for run_start in range(0, runs, chunk):
+            units.append(
+                WorkUnit(
+                    config=config,
+                    p=float(p),
+                    q=float(q),
+                    seed_path=tuple(int(x) for x in seed_path),
+                    run_start=run_start,
+                    run_stop=min(run_start + chunk, runs),
+                    base_seed=int(base_seed),
+                    fresh_code_per_run=bool(fresh_code_per_run),
+                    code_seed_path=tuple(int(x) for x in seed_path)
+                    if code_seed_by_path
+                    else None,
+                )
+            )
+    return units
+
+
+#: Per-process memo of shared FEC codes, keyed by the code-defining parts of
+#: the unit.  Building an LDGM parity-check matrix or a Vandermonde table is
+#: far more expensive than a handful of runs, so worker processes build each
+#: distinct code once and reuse it across the units they execute.
+_CODE_CACHE: Dict[tuple, object] = {}
+_CODE_CACHE_MAX = 8
+
+
+def _shared_code(unit: WorkUnit):
+    from repro.runner.cache import config_token
+
+    key = (config_token(unit.config), unit.base_seed, unit.code_seed_path)
+    code = _CODE_CACHE.get(key)
+    if code is None:
+        if unit.code_seed_path is None:
+            seed = np.random.default_rng(unit.base_seed)
+        else:
+            seed = np.random.default_rng(
+                np.random.SeedSequence([unit.base_seed, *unit.code_seed_path])
+            )
+        code = unit.config.build_code(seed=seed)
+        if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
+            _CODE_CACHE.pop(next(iter(_CODE_CACHE)))
+        _CODE_CACHE[key] = code
+    return code
+
+
+def execute_unit(unit: WorkUnit) -> UnitResult:
+    """Run every transmission of one unit and collect the raw outcomes."""
+    tx_model = unit.config.build_tx_model()
+    channel = GilbertChannel(unit.p, unit.q)
+    shared_code = None if unit.fresh_code_per_run else _shared_code(unit)
+
+    inefficiency_ratios: List[float] = []
+    received_ratios: List[float] = []
+    failures = 0
+    for run in range(unit.run_start, unit.run_stop):
+        run_rng = np.random.default_rng(
+            np.random.SeedSequence([unit.base_seed, *unit.seed_path, run])
+        )
+        if unit.fresh_code_per_run:
+            code = unit.config.build_code(seed=run_rng)
+        else:
+            code = shared_code
+        simulator = Simulator(code, tx_model, channel)
+        result = simulator.run(run_rng, nsent=unit.config.nsent)
+        received_ratios.append(result.received_ratio)
+        if result.decoded:
+            inefficiency_ratios.append(result.inefficiency_ratio)
+        else:
+            failures += 1
+
+    return UnitResult(
+        seed_path=unit.seed_path,
+        run_start=unit.run_start,
+        run_stop=unit.run_stop,
+        inefficiency_ratios=tuple(inefficiency_ratios),
+        received_ratios=tuple(received_ratios),
+        failures=failures,
+    )
+
+
+def execute_units(units: Sequence[WorkUnit]) -> List[UnitResult]:
+    """Execute a chunk of units (the process-pool dispatch granularity)."""
+    return [execute_unit(unit) for unit in units]
+
+
+def merge_cell(results: Iterable[UnitResult]) -> Tuple[float, float, int]:
+    """Aggregate one cell's unit results into the paper's per-cell metrics.
+
+    Returns ``(mean_inefficiency, mean_received_ratio, failures)``.  The
+    per-run lists are concatenated in run order before averaging, so the
+    outcome is bit-identical to the serial loop regardless of how the cell
+    was sharded; a cell where any run failed has NaN mean inefficiency
+    (the paper's plotting rule).
+    """
+    ordered = sorted(results, key=lambda result: result.run_start)
+    inefficiency: List[float] = []
+    received: List[float] = []
+    failures = 0
+    for result in ordered:
+        inefficiency.extend(result.inefficiency_ratios)
+        received.extend(result.received_ratios)
+        failures += result.failures
+    mean_inefficiency = (
+        float(np.mean(inefficiency)) if failures == 0 and inefficiency else float("nan")
+    )
+    mean_received = float(np.mean(received)) if received else float("nan")
+    return mean_inefficiency, mean_received, failures
+
+
+__all__ = [
+    "SeedPath",
+    "WorkUnit",
+    "UnitResult",
+    "plan_units",
+    "execute_unit",
+    "execute_units",
+    "merge_cell",
+]

@@ -1,6 +1,6 @@
 """Small shared utilities: RNG handling and argument validation."""
 
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import as_seed_int, ensure_rng, spawn_rngs
 from repro.utils.validation import (
     validate_expansion_ratio,
     validate_fraction,
@@ -9,6 +9,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "as_seed_int",
     "ensure_rng",
     "spawn_rngs",
     "validate_positive_int",

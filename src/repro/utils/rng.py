@@ -65,6 +65,27 @@ def spawn_rngs(random_state: RandomState, count: int) -> list[np.random.Generato
     return [np.random.default_rng(child) for child in seq.spawn(count)]
 
 
+def as_seed_int(seed: RandomState) -> int:
+    """Collapse any accepted seed type to a plain ``int``.
+
+    The sweep and runner layers key their per-run ``SeedSequence`` streams
+    (and the on-disk result cache) off a single integer, so every seed type
+    accepted by :func:`ensure_rng` must normalise to one deterministically.
+    ``None`` maps to 0 for backwards compatibility with the original sweep
+    code; a ``Generator`` consumes one draw and is therefore only
+    reproducible if the caller controls the generator state.
+    """
+    if seed is None:
+        return 0
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if isinstance(seed, np.random.SeedSequence):
+        return int(seed.generate_state(1, dtype=np.uint64)[0])
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**31 - 1))
+    raise TypeError(f"unsupported seed type {type(seed).__name__}")
+
+
 def derive_seed(random_state: RandomState, *salt: Union[int, str]) -> int:
     """Derive a deterministic integer seed from ``random_state`` and a salt.
 
@@ -97,4 +118,11 @@ def iter_run_rngs(seed: RandomState, runs: int) -> Iterable[np.random.Generator]
     yield from spawn_rngs(seed, runs)
 
 
-__all__ = ["ensure_rng", "spawn_rngs", "derive_seed", "iter_run_rngs", "RandomState"]
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "as_seed_int",
+    "derive_seed",
+    "iter_run_rngs",
+    "RandomState",
+]

@@ -107,3 +107,64 @@ class TestSweepParameter:
     def test_invalid_runs_rejected(self):
         with pytest.raises(ValueError):
             sweep_parameter(lambda value: SimulationConfig(k=10, expansion_ratio=2.0), [1.0], runs=0)
+
+    def test_progress_callback_invoked(self):
+        calls = []
+        sweep_parameter(
+            lambda value: SimulationConfig(k=100, expansion_ratio=2.0),
+            [1.0, 2.0, 3.0],
+            runs=1,
+            seed=0,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(1, 3), (2, 3), (3, 3)]
+
+    def test_fresh_code_per_run(self):
+        series = sweep_parameter(
+            lambda value: SimulationConfig(
+                code="ldgm-staircase", tx_model="tx_model_4", k=150, expansion_ratio=2.5
+            ),
+            [1.0, 2.0],
+            p=0.05,
+            q=0.5,
+            runs=2,
+            seed=3,
+            fresh_code_per_run=True,
+        )
+        assert np.isfinite(series.mean_inefficiency).all()
+
+    def test_code_seed_derivation_avoids_index_collisions(self):
+        # Historically index i at base seed s shared its code stream with
+        # index i-1 at base seed s+1; the SeedSequence([base_seed, index])
+        # derivation must keep them distinct.
+        def make_config(value):
+            return SimulationConfig(
+                code="ldgm-staircase", tx_model="tx_model_4", k=150, expansion_ratio=2.5
+            )
+
+        first = sweep_parameter(make_config, [1.0, 2.0], p=0.05, q=0.5, runs=3, seed=11)
+        shifted = sweep_parameter(make_config, [1.0, 2.0], p=0.05, q=0.5, runs=3, seed=12)
+        assert np.isfinite(first.mean_inefficiency[1])
+        assert np.isfinite(shifted.mean_inefficiency[0])
+        assert first.mean_inefficiency[1] != shifted.mean_inefficiency[0]
+
+    def test_accepts_generator_parameter_values(self):
+        series = sweep_parameter(
+            lambda value: SimulationConfig(k=100, expansion_ratio=2.0),
+            (float(value) for value in (1, 2)),
+            runs=1,
+            seed=0,
+        )
+        assert series.parameter_values.tolist() == [1.0, 2.0]
+
+    def test_reproducible_for_same_seed(self):
+        def make_config(value):
+            return SimulationConfig(
+                code="ldgm-staircase", tx_model="tx_model_4", k=150, expansion_ratio=2.5
+            )
+
+        first = sweep_parameter(make_config, [1.0, 2.0], p=0.05, q=0.5, runs=3, seed=11)
+        second = sweep_parameter(make_config, [1.0, 2.0], p=0.05, q=0.5, runs=3, seed=11)
+        assert np.array_equal(
+            first.mean_inefficiency, second.mean_inefficiency, equal_nan=True
+        )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+from repro.utils.rng import as_seed_int, derive_seed, ensure_rng, spawn_rngs
 from repro.utils.validation import (
     validate_expansion_ratio,
     validate_fraction,
@@ -51,6 +51,29 @@ class TestSpawnRngs:
     def test_negative_count_rejected(self):
         with pytest.raises(ValueError):
             spawn_rngs(1, -1)
+
+
+class TestAsSeedInt:
+    def test_none_maps_to_zero(self):
+        assert as_seed_int(None) == 0
+
+    def test_int_passthrough(self):
+        assert as_seed_int(42) == 42
+        assert as_seed_int(np.int64(7)) == 7
+
+    def test_seed_sequence_is_deterministic(self):
+        assert as_seed_int(np.random.SeedSequence(5)) == as_seed_int(
+            np.random.SeedSequence(5)
+        )
+
+    def test_generator_draws_once(self):
+        first = as_seed_int(np.random.default_rng(3))
+        second = as_seed_int(np.random.default_rng(3))
+        assert first == second
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_seed_int("seed")
 
 
 class TestDeriveSeed:
