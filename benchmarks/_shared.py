@@ -53,6 +53,17 @@ def bench_workers() -> Optional[int]:
     return workers if workers > 1 else None
 
 
+def bench_fastpath() -> bool:
+    """Whether benchmarks use the vectorised batch decoder (default: yes).
+
+    ``REPRO_BENCH_FASTPATH=0`` falls back to the incremental reference
+    path; results are bit-identical either way, this is an equivalence
+    escape hatch / baseline knob.
+    """
+    value = os.environ.get("REPRO_BENCH_FASTPATH", "").strip().lower()
+    return value not in ("0", "false", "no", "off")
+
+
 def results_path(name: str) -> Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR / name
@@ -65,14 +76,19 @@ def run_figure_experiment(
     scale: ExperimentScale = BENCH_SCALE,
     seed: int = BENCH_SEED,
     workers: Optional[int] = None,
+    fastpath: Optional[bool] = None,
 ) -> Dict[str, GridResult]:
     """Run every configuration of a figure preset and persist the grids.
 
     ``workers`` (default: the ``REPRO_BENCH_WORKERS`` environment variable)
-    fans the grid cells out over the runner's process-pool executor.
+    fans the grid cells out over the runner's process-pool executor;
+    ``fastpath`` (default: ``REPRO_BENCH_FASTPATH``, on unless set to 0)
+    selects the vectorised batch decoder.
     """
     if workers is None:
         workers = bench_workers()
+    if fastpath is None:
+        fastpath = bench_fastpath()
     spec = get_experiment(experiment_id)
     grids: Dict[str, GridResult] = {}
     for config in spec.scaled_configs(scale):
@@ -83,6 +99,7 @@ def run_figure_experiment(
             runs=runs,
             seed=seed,
             workers=workers,
+            fastpath=fastpath,
         )
         grids[config.display_label] = grid
         slug = label_slug(config.display_label)

@@ -1,0 +1,155 @@
+"""Microbenchmark: incremental decode loop vs the vectorised fast path.
+
+Measures end-to-end simulation throughput (runs/second: schedule + channel
++ decode to ``n_necessary``) per code family at k = 1000, comparing
+
+* **serial** -- the incremental reference path (``fastpath=False``: one
+  ``Simulator.run`` per run, per-packet ``add_packet`` loop), and
+* **fastpath** -- :func:`repro.fastpath.simulate_batch` decoding a whole
+  work-unit-sized batch of runs at once.
+
+Every sample is checked for bit-identity before timing.  The measured
+throughputs are appended to ``benchmarks/BENCH.json`` so the
+performance trajectory of the decode path is recorded PR over PR (the
+acceptance bar for this PR: >= 10x for ldgm-staircase at k = 1000 against
+the pre-PR serial path, whose throughput is recorded in the entry's
+``baseline`` block).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_decoder_fastpath.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from datetime import date
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _shared import BENCH_SEED  # noqa: E402
+
+from repro.channel.gilbert import GilbertChannel
+from repro.core.simulator import Simulator
+from repro.fastpath import simulate_batch
+from repro.fec.registry import make_code
+from repro.scheduling.registry import make_tx_model
+
+#: Code families benchmarked (name, expansion ratio).  Repetition needs an
+#: integer ratio; everything else uses the paper's 2.5.
+FAMILIES = [
+    ("ldgm-staircase", 2.5),
+    ("ldgm-triangle", 2.5),
+    ("ldgm", 2.5),
+    ("rse", 2.5),
+    ("repetition", 2.0),
+]
+
+K = 1000
+TX_MODEL = "tx_model_2"
+P, Q = 0.05, 0.5
+
+#: Runs per timing sample.  The fast path is timed on a work-unit-sized
+#: batch; the serial loop on fewer runs (it is the slow side).
+SERIAL_RUNS = 40
+BATCH_RUNS = 960
+
+#: Version-controlled performance ledger (benchmarks/results/ is for
+#: regenerable CSV output and is gitignored; the trajectory is not).
+BENCH_JSON = Path(__file__).parent / "BENCH.json"
+
+
+def _rngs(count: int):
+    return [
+        np.random.default_rng(np.random.SeedSequence([BENCH_SEED, run]))
+        for run in range(count)
+    ]
+
+
+def _measure(family: str, ratio: float) -> dict:
+    code = make_code(family, k=K, expansion_ratio=ratio, seed=1)
+    tx_model = make_tx_model(TX_MODEL)
+    channel = GilbertChannel(P, Q)
+
+    # Equivalence gate before timing anything.
+    simulator = Simulator(code, tx_model, channel)
+    reference = [simulator.run(rng) for rng in _rngs(20)]
+    if simulate_batch(code, tx_model, channel, _rngs(20)) != reference:
+        raise AssertionError(f"fastpath diverged from the serial path for {family}")
+
+    best_serial = 0.0
+    for _ in range(2):
+        serial_simulator = Simulator(code, tx_model, channel)
+        started = time.perf_counter()
+        for rng in _rngs(SERIAL_RUNS):
+            serial_simulator.run(rng)
+        elapsed = time.perf_counter() - started
+        best_serial = max(best_serial, SERIAL_RUNS / elapsed)
+
+    simulate_batch(code, tx_model, channel, _rngs(8))  # warm the prototype
+    best_fast = 0.0
+    for _ in range(2):
+        started = time.perf_counter()
+        simulate_batch(code, tx_model, channel, _rngs(BATCH_RUNS))
+        elapsed = time.perf_counter() - started
+        best_fast = max(best_fast, BATCH_RUNS / elapsed)
+
+    return {
+        "code": family,
+        "expansion_ratio": ratio,
+        "serial_runs_per_sec": round(best_serial, 1),
+        "fastpath_runs_per_sec": round(best_fast, 1),
+        "speedup": round(best_fast / best_serial, 2),
+    }
+
+
+def run_benchmark() -> dict:
+    rows = [_measure(family, ratio) for family, ratio in FAMILIES]
+    entry = {
+        "benchmark": "decoder_fastpath",
+        "date": date.today().isoformat(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "k": K,
+        "tx_model": TX_MODEL,
+        "channel": {"p": P, "q": Q},
+        "serial_runs": SERIAL_RUNS,
+        "batch_runs": BATCH_RUNS,
+        "seed": BENCH_SEED,
+        "results": rows,
+    }
+    return entry
+
+
+def append_to_bench_json(entry: dict) -> Path:
+    destination = BENCH_JSON
+    if destination.exists():
+        payload = json.loads(destination.read_text(encoding="utf-8"))
+    else:
+        payload = {"schema": 1, "entries": []}
+    payload["entries"].append(entry)
+    destination.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return destination
+
+
+def main() -> int:
+    entry = run_benchmark()
+    print(f"decoder fastpath microbenchmark (k={K}, {TX_MODEL}, Gilbert p={P} q={Q})")
+    for row in entry["results"]:
+        print(
+            f"  {row['code']:16s} serial {row['serial_runs_per_sec']:8.1f} runs/s   "
+            f"fastpath {row['fastpath_runs_per_sec']:8.1f} runs/s   "
+            f"speedup {row['speedup']:6.2f}x"
+        )
+    destination = append_to_bench_json(entry)
+    print(f"recorded in {destination}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,11 @@ The package is organised as a set of small, composable subsystems:
     The simulation engine: single runs, (p, q) grid sweeps, experiment
     presets for every figure/table, the n_sent optimiser and the
     recommendation engine of section 6.
+``repro.fastpath``
+    The vectorised decode fast path: precompiled per-code decoder
+    prototypes, closed-form batched RSE/repetition decoding, the O(log n)
+    checkpointed gallop+bisect search for LDGM.  Bit-identical to the
+    incremental path and on by default (``fastpath=False`` opts out).
 ``repro.runner``
     The parallel experiment-execution engine: deterministic work-unit
     sharding, serial / process-pool executors, the resumable on-disk
@@ -61,10 +66,11 @@ from repro.fec import (
     ReedSolomonCode,
     make_code,
 )
+from repro.fastpath import simulate_batch
 from repro.runner import ProcessExecutor, ResultCache, SerialExecutor, run_grid
 from repro.scheduling import make_tx_model
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BernoulliChannel",
@@ -85,5 +91,6 @@ __all__ = [
     "ResultCache",
     "SerialExecutor",
     "run_grid",
+    "simulate_batch",
     "__version__",
 ]

@@ -278,6 +278,7 @@ def run_experiment(
     executor: ExecutorSpec = None,
     workers: Optional[int] = None,
     cache: CacheSpec = None,
+    fastpath: bool = True,
     progress_factory: Optional[ProgressFactory] = None,
 ) -> Dict[str, GridResult]:
     """Run every configuration of an experiment and return grids by label.
@@ -317,6 +318,7 @@ def run_experiment(
             executor=executor,
             workers=workers,
             cache=cache,
+            fastpath=fastpath,
         )
         results[config.display_label] = grid
     return results

@@ -43,6 +43,22 @@ class Simulator:
         self.code = code
         self.tx_model = tx_model
         self.channel = channel if channel is not None else PerfectChannel()
+        self._schedule_validated = False
+
+    def _make_schedule(self, rng: np.random.Generator) -> np.ndarray:
+        """One transmission schedule; fully validated on the first call only.
+
+        Schedules of later runs come from the same model and layout, so the
+        per-run bounds check is redundant (and the decoders bounds-check
+        every packet index anyway).
+        """
+        layout = self.code.layout
+        schedule = self.tx_model.schedule(layout, rng)
+        if self._schedule_validated:
+            return np.asarray(schedule, dtype=np.int64)
+        schedule = self.tx_model.validate_schedule(layout, schedule)
+        self._schedule_validated = True
+        return schedule
 
     def run(self, rng: RandomState = None, nsent: Optional[int] = None) -> RunResult:
         """Simulate one transmission and return its :class:`RunResult`.
@@ -56,9 +72,7 @@ class Simulator:
             packets (section 6.2); ``None`` sends the full schedule.
         """
         rng = ensure_rng(rng)
-        layout = self.code.layout
-        schedule = self.tx_model.schedule(layout, rng)
-        schedule = self.tx_model.validate_schedule(layout, schedule)
+        schedule = self._make_schedule(rng)
         if nsent is not None:
             schedule = schedule[: validate_positive_int(nsent, "nsent")]
 
@@ -66,9 +80,12 @@ class Simulator:
         received = schedule[~loss_mask]
 
         decoder = self.code.new_symbolic_decoder()
+        add_packet = decoder.add_packet
         n_necessary: Optional[int] = None
-        for count, index in enumerate(received.tolist(), start=1):
-            if decoder.add_packet(index):
+        count = 0
+        for index in received:
+            count += 1
+            if add_packet(index):
                 n_necessary = count
                 break
 
@@ -82,10 +99,27 @@ class Simulator:
         )
 
     def run_many(
-        self, runs: int, rng: RandomState = None, nsent: Optional[int] = None
+        self,
+        runs: int,
+        rng: RandomState = None,
+        nsent: Optional[int] = None,
+        *,
+        fastpath: bool = True,
     ) -> list[RunResult]:
-        """Simulate ``runs`` independent transmissions."""
+        """Simulate ``runs`` independent transmissions.
+
+        With ``fastpath=True`` (the default) the whole batch is decoded by
+        the vectorised :mod:`repro.fastpath` engine -- bit-identical to the
+        incremental loop for any seed; ``fastpath=False`` keeps the
+        per-packet reference path.
+        """
         rng = ensure_rng(rng)
+        if fastpath:
+            from repro.fastpath import simulate_batch
+
+            return simulate_batch(
+                self.code, self.tx_model, self.channel, [rng] * runs, nsent=nsent
+            )
         return [self.run(rng, nsent=nsent) for _ in range(runs)]
 
 

@@ -41,6 +41,7 @@ def simulate_grid(
     executor: ExecutorSpec = None,
     workers: Optional[int] = None,
     cache: CacheSpec = None,
+    fastpath: bool = True,
 ) -> GridResult:
     """Sweep the Gilbert (p, q) grid for one configuration.
 
@@ -74,6 +75,10 @@ def simulate_grid(
         ``None`` (default) to disable caching.  With a cache, completed
         grid cells are skipped on re-runs, making interrupted sweeps
         resumable.
+    fastpath:
+        Decode each work unit's run range as one vectorised batch through
+        :mod:`repro.fastpath` (default; bit-identical to the incremental
+        path).  ``False`` keeps the per-packet reference loop.
     """
     return run_grid(
         config,
@@ -86,6 +91,7 @@ def simulate_grid(
         executor=executor,
         workers=workers,
         cache=cache,
+        fastpath=fastpath,
     )
 
 
@@ -103,6 +109,7 @@ def sweep_parameter(
     executor: ExecutorSpec = None,
     workers: Optional[int] = None,
     cache: CacheSpec = None,
+    fastpath: bool = True,
     label: str = "",
 ) -> SeriesResult:
     """Sweep an arbitrary scalar parameter at a fixed (p, q) point.
@@ -127,7 +134,7 @@ def sweep_parameter(
         Rebuild the FEC code from the run stream for every run.
     progress:
         Optional callback ``(done_points, total_points)``.
-    executor, workers, cache:
+    executor, workers, cache, fastpath:
         Execution/caching knobs, as in :func:`simulate_grid`.
     """
     values = [float(value) for value in parameter_values]
@@ -145,6 +152,7 @@ def sweep_parameter(
         executor=executor,
         workers=workers,
         cache=cache,
+        fastpath=fastpath,
         label=label,
     )
 

@@ -1,0 +1,41 @@
+"""Vectorised batch-simulation fast path.
+
+The incremental simulator (:mod:`repro.core.simulator`) feeds packets one
+at a time through a symbolic decoder -- the right abstraction for clarity
+and the reference for correctness, but a Python-level loop in the hottest
+path of every sweep.  This package replaces it with array computation that
+is **bit-identical** for any seed:
+
+* :mod:`repro.fastpath.prototypes` -- per-code precompiled decoder state
+  and the batched decode algorithms (closed-form RSE/repetition counting,
+  lockstep-bisection LDGM peeling, incremental fallback).
+* :mod:`repro.fastpath.batch` -- :func:`simulate_batch`, the drop-in batch
+  equivalent of running the simulator once per run.
+
+Selected by default through ``Simulator.run_many(fastpath=True)``, the
+runner work units and the benchmark harness; pass ``fastpath=False`` (or
+``--no-fastpath`` on the CLI) to fall back to the incremental path.
+"""
+
+from repro.fastpath.batch import MAX_STACKED_EDGES, simulate_batch
+from repro.fastpath.prototypes import (
+    NOT_DECODED,
+    BlockCountPrototype,
+    DecoderPrototype,
+    IncrementalPrototype,
+    LDGMPrototype,
+    compile_prototype,
+    register_prototype_compiler,
+)
+
+__all__ = [
+    "simulate_batch",
+    "MAX_STACKED_EDGES",
+    "NOT_DECODED",
+    "DecoderPrototype",
+    "BlockCountPrototype",
+    "LDGMPrototype",
+    "IncrementalPrototype",
+    "compile_prototype",
+    "register_prototype_compiler",
+]

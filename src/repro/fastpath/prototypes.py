@@ -1,0 +1,591 @@
+"""Precompiled decoder prototypes: per-code state built once, used per batch.
+
+A prototype captures everything about a FEC code that the symbolic decoder
+would otherwise rebuild for every simulated run -- CSR adjacency, initial
+per-row peeling state, block membership tables -- and exposes one operation:
+
+``decode_batch(received) -> (decoded, n_necessary)``
+
+for a whole batch of runs at once.  The results are bit-identical to feeding
+each run's received sequence through the incremental
+:class:`repro.fec.base.SymbolicDecoder` and stopping at the first packet
+that completes decoding (:meth:`repro.core.simulator.Simulator.run`):
+
+* **MDS block codes (RSE)** -- a block decodes exactly when ``k_b`` distinct
+  packets of it have arrived, so ``n_necessary`` is a closed-form order
+  statistic over the per-block arrival positions: no per-packet work at all.
+* **Repetition** -- same closed form with "block" replaced by "source id".
+* **LDGM family** -- decodability of a received *prefix* is monotone in the
+  prefix length (peeling over a superset recovers a superset), so
+  ``n_necessary`` is found by an O(log n) bisection; every probe batch-peels
+  the prefix from scratch over the precompiled CSR arrays, vectorised
+  across all runs probing in lockstep.
+* **Anything else** -- a fallback prototype replays the incremental decoder
+  so the fast path is safe for codes registered by third parties.
+
+Prototypes are cached on the code instance: compiling is itself vectorised
+and cheap, but a work unit should pay for it once, not per run.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.fec.base import FECCode
+
+#: ``n_necessary`` sentinel used in the integer result array of
+#: :meth:`DecoderPrototype.decode_batch` for runs that never decode.
+NOT_DECODED = -1
+
+
+class DecoderPrototype(abc.ABC):
+    """Batch decoder for one FEC code instance."""
+
+    def __init__(self, code: FECCode):
+        self.code = code
+        self.k = code.k
+        self.n = code.n
+
+    @abc.abstractmethod
+    def decode_batch(
+        self, received: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Decode a batch of runs given each run's received index sequence.
+
+        Parameters
+        ----------
+        received:
+            One 1-D ``int64`` array per run: the global packet indices the
+            receiver got, in arrival order (duplicates allowed).
+
+        Returns
+        -------
+        decoded:
+            Boolean array, one entry per run.
+        n_necessary:
+            ``int64`` array: the 1-based arrival position of the packet that
+            completed decoding, or :data:`NOT_DECODED` for failed runs.
+        """
+
+
+# ---------------------------------------------------------------------------
+# Closed-form prototypes: MDS blocks and repetition.
+# ---------------------------------------------------------------------------
+
+
+def _distinct_threshold_positions(
+    group_ids: np.ndarray,
+    positions: np.ndarray,
+    needed: np.ndarray,
+    num_groups: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Arrival position at which each group reaches its distinct-count goal.
+
+    ``group_ids``/``positions`` describe distinct arrivals (one entry per
+    first occurrence): the group the arrival counts towards and its 0-based
+    position in the run.  For every group ``g`` with at least ``needed[g]``
+    arrivals, returns the position of the ``needed[g]``-th one.
+
+    Returns ``(reached, threshold_position)`` arrays of length
+    ``num_groups``; ``threshold_position`` is undefined where ``reached`` is
+    False.
+    """
+    counts = np.bincount(group_ids, minlength=num_groups)
+    reached = counts >= needed
+    order = np.lexsort((positions, group_ids))
+    sorted_positions = positions[order]
+    group_starts = np.zeros(num_groups, dtype=np.int64)
+    np.cumsum(counts[:-1], out=group_starts[1:])
+    threshold = np.zeros(num_groups, dtype=np.int64)
+    reached_idx = np.nonzero(reached)[0]
+    threshold[reached_idx] = sorted_positions[
+        group_starts[reached_idx] + needed[reached_idx] - 1
+    ]
+    return reached, threshold
+
+
+def _first_occurrences(
+    received: Sequence[np.ndarray], key_of: Callable[[np.ndarray], np.ndarray], keys_per_run: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """First arrival of every distinct key, batched over runs.
+
+    ``key_of`` maps packet indices to the identity that matters for the code
+    (the index itself for RSE, ``index % k`` for repetition).  Returns
+    ``(run_of, key, position)`` arrays with one entry per distinct
+    ``(run, key)`` pair, where ``position`` is the 0-based arrival position
+    within the run.
+    """
+    lengths = np.fromiter((r.size for r in received), dtype=np.int64, count=len(received))
+    offsets = np.zeros(len(received), dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    if lengths.sum() == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, empty
+    flat = np.concatenate([np.asarray(r, dtype=np.int64) for r in received])
+    run_ids = np.repeat(np.arange(len(received), dtype=np.int64), lengths)
+    keys = key_of(flat)
+    _uniq, first = np.unique(run_ids * np.int64(keys_per_run) + keys, return_index=True)
+    run_of = run_ids[first]
+    return run_of, keys[first], first - offsets[run_of]
+
+
+class BlockCountPrototype(DecoderPrototype):
+    """Closed-form batch decoder for codes where decoding is a counting rule.
+
+    Covers every code whose completion condition is "each group ``g`` has
+    received ``needed[g]`` distinct keys": RSE blocks (key = packet index,
+    group = block) and repetition (key = group = source id).
+    """
+
+    def __init__(
+        self,
+        code: FECCode,
+        group_of_key: np.ndarray,
+        needed: np.ndarray,
+        key_of: Callable[[np.ndarray], np.ndarray],
+        keys_per_run: int,
+    ):
+        super().__init__(code)
+        self._group_of_key = group_of_key
+        self._needed = needed
+        self._key_of = key_of
+        self._keys_per_run = int(keys_per_run)
+        self._num_groups = int(needed.size)
+
+    def decode_batch(
+        self, received: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        num_runs = len(received)
+        B = self._num_groups
+        run_of, keys, positions = _first_occurrences(
+            received, self._key_of, self._keys_per_run
+        )
+        groups = run_of * np.int64(B) + self._group_of_key[keys]
+        reached, threshold = _distinct_threshold_positions(
+            groups,
+            positions,
+            np.tile(self._needed, num_runs),
+            num_runs * B,
+        )
+        reached = reached.reshape(num_runs, B)
+        threshold = threshold.reshape(num_runs, B)
+        decoded = reached.all(axis=1)
+        n_necessary = np.full(num_runs, NOT_DECODED, dtype=np.int64)
+        n_necessary[decoded] = threshold[decoded].max(axis=1) + 1
+        return decoded, n_necessary
+
+
+def compile_rse_prototype(code: FECCode) -> BlockCountPrototype:
+    """RSE: a block decodes once ``k_b`` distinct packets of it arrived."""
+    layout = code.layout
+    block_of = np.empty(layout.n, dtype=np.int64)
+    needed = np.empty(layout.num_blocks, dtype=np.int64)
+    for block in layout.blocks:
+        block_of[block.source_indices] = block.block_id
+        block_of[block.parity_indices] = block.block_id
+        needed[block.block_id] = block.k
+    return BlockCountPrototype(
+        code,
+        group_of_key=block_of,
+        needed=needed,
+        key_of=lambda indices: indices,
+        keys_per_run=layout.n,
+    )
+
+
+def compile_repetition_prototype(code: FECCode) -> BlockCountPrototype:
+    """Repetition: decoding completes once all ``k`` sources were seen."""
+    k = code.k
+    return BlockCountPrototype(
+        code,
+        group_of_key=np.zeros(k, dtype=np.int64),
+        needed=np.array([k], dtype=np.int64),
+        key_of=lambda indices: indices % np.int64(k),
+        keys_per_run=k,
+    )
+
+
+# ---------------------------------------------------------------------------
+# LDGM: batched peeling + lockstep bisection.
+# ---------------------------------------------------------------------------
+
+
+#: Reused empty frontier.
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+#: Bit position splitting a packed row word into (unknown count, id sum).
+_COUNT_SHIFT = 40
+_SUM_MASK = (1 << _COUNT_SHIFT) - 1
+
+#: Initial word of the per-run sentinel row that absorbs the padded
+#: adjacency's ghost updates: an unknown count of 2**22, far above anything
+#: a real row can hold and out of reach of the ghost decrements one
+#: ``_advance`` call can apply (enforced by ``_GHOST_HEADROOM``).
+_SENTINEL_WORD = np.int64(1) << (_COUNT_SHIFT + 22)
+
+#: A single _advance can recover at most ``n`` nodes per run, each hitting
+#: the sentinel at most ``max_degree`` times; requiring the product to stay
+#: below this bound keeps the sentinel's count field above 2**21.
+_GHOST_HEADROOM = 1 << 21
+
+
+class _PeelState:
+    """Stacked peeling state of a batch of runs (one block per run).
+
+    Per-row state is one ``int64`` word: ``unknown_count << 40 | id_sum``,
+    where ``id_sum`` is the *sum* of the row's still-unknown column ids.
+    Like the incremental decoder's XOR accumulator, the sum of a single
+    remaining element identifies it -- but a sum also updates by plain
+    subtraction, so removing a known node from a row is a single fused
+    ``packed -= (1 << 40) + node`` and cannot borrow across the fields
+    (the id sum of the remaining unknowns never goes negative).
+    """
+
+    __slots__ = ("packed", "known", "source_counts")
+
+    def __init__(self, packed: np.ndarray, known: np.ndarray, source_counts: np.ndarray):
+        self.packed = packed
+        self.known = known
+        self.source_counts = source_counts
+
+    def copy(self) -> "_PeelState":
+        return _PeelState(
+            self.packed.copy(), self.known.copy(), self.source_counts.copy()
+        )
+
+    def adopt(
+        self, other: "_PeelState", runs: np.ndarray, num_checks: int, n: int
+    ) -> None:
+        """Overwrite the state blocks of ``runs`` with ``other``'s."""
+        self.packed.reshape(-1, num_checks)[runs] = other.packed.reshape(
+            -1, num_checks
+        )[runs]
+        self.known.reshape(-1, n)[runs] = other.known.reshape(-1, n)[runs]
+        self.source_counts[runs] = other.source_counts[runs]
+
+
+class LDGMPrototype(DecoderPrototype):
+    """Batched peeling decoder over precompiled CSR arrays.
+
+    Decoding a batch is a lockstep bisection for the smallest decodable
+    received prefix of every run (decodability is monotone in the prefix:
+    peeling a superset recovers a superset).  The peeling state at the
+    bisection's ``lo`` prefix -- always undecodable -- is kept as a
+    *checkpoint*: a probe copies it, applies only the ``lo..mid`` delta
+    packets and cascades, vectorised across every probing run at once; a
+    failed probe's state becomes the next checkpoint.  The deltas halve
+    every iteration, so the total work is ``O(received + recovered)`` array
+    updates per run -- the ``O(log n)`` probes re-peel only their deltas,
+    never the whole prefix -- instead of ``n`` Python-level packet
+    insertions through the incremental decoder.
+    """
+
+    def __init__(self, code: FECCode):
+        super().__init__(code)
+        matrix = code.matrix
+        self.num_checks = matrix.num_checks
+        self.row_ptr, self.row_cols = matrix.row_csr()
+        self.row_degrees = matrix.row_degrees()
+        self.col_indptr, self.col_rows = matrix.column_adjacency()
+        self.num_edges = int(self.row_cols.size)
+        if self.row_cols.size and int(self.row_cols.max()) * int(
+            self.row_degrees.max()
+        ) >= 1 << _COUNT_SHIFT:
+            raise ValueError(
+                "code too large for the packed peeling state "
+                f"(id sums must stay below 2**{_COUNT_SHIFT})"
+            )
+        row_sums = (
+            np.add.reduceat(self.row_cols, self.row_ptr[:-1])
+            if self.row_cols.size
+            else np.zeros(self.num_checks, dtype=np.int64)
+        )
+        row_sums[self.row_degrees == 0] = 0
+        self.row_packed = (self.row_degrees << _COUNT_SHIFT) + row_sums
+        # Padded column adjacency: node degrees are tiny and near-uniform
+        # (left_degree for sources, 2-3 for parities), so a dense
+        # (n, max_degree) table turns the per-round CSR slice gather into
+        # one fancy-indexing operation.  Ghost slots of low-degree nodes
+        # point at a per-run *sentinel row* (local index num_checks) whose
+        # unknown count starts astronomically high: updates land there
+        # harmlessly instead of being filtered with boolean masks.
+        degrees = np.diff(self.col_indptr)
+        max_degree = int(degrees.max()) if degrees.size else 0
+        if self.n * max(max_degree, 1) >= _GHOST_HEADROOM:
+            raise ValueError(
+                "code too large for the sentinel-padded peeling state "
+                f"(n * max_degree must stay below {_GHOST_HEADROOM})"
+            )
+        self.col_rows_padded = np.full(
+            (self.n, max(max_degree, 1)), self.num_checks, dtype=np.int64
+        )
+        if self.col_rows.size:
+            node_ids = np.repeat(np.arange(self.n, dtype=np.int64), degrees)
+            slot = np.arange(self.col_rows.size, dtype=np.int64) - np.repeat(
+                self.col_indptr[:-1], degrees
+            )
+            self.col_rows_padded[node_ids, slot] = self.col_rows
+
+    def _fresh_state(self, num_runs: int) -> _PeelState:
+        """Stacked no-packets-yet state: the prototype replicated per run.
+
+        Every run's block carries ``num_checks`` real rows plus the sentinel
+        row that absorbs the padded adjacency's ghost updates.  Its initial
+        unknown count (2**22) dwarfs any realistic number of ghost hits, so
+        it can never reach one and trigger a reveal; nor can the subtracted
+        id sums borrow into a range that would (the total subtracted stays
+        far below the initial word).
+        """
+        per_run = np.concatenate([self.row_packed, [_SENTINEL_WORD]])
+        return _PeelState(
+            np.tile(per_run, num_runs),
+            np.zeros(num_runs * self.n, dtype=bool),
+            np.zeros(num_runs, dtype=np.int64),
+        )
+
+    def decode_batch(
+        self, received: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        received = [np.asarray(r, dtype=np.int64) for r in received]
+        num_runs = len(received)
+        lengths = np.fromiter((r.size for r in received), dtype=np.int64, count=num_runs)
+        decoded = np.zeros(num_runs, dtype=bool)
+        n_necessary = np.full(num_runs, NOT_DECODED, dtype=np.int64)
+
+        # Fewer than k packets can never decode (each packet contributes one
+        # equation; recovering k independent sources needs at least k), so
+        # the checkpoint starts at prefix k - 1 and runs shorter than k are
+        # failures outright.
+        candidates = np.nonzero(lengths >= self.k)[0]
+        if candidates.size == 0:
+            return decoded, n_necessary
+
+        # Unified gallop-then-bisect search, lockstep across runs, with a
+        # checkpoint at every run's lo prefix (always undecodable).  The
+        # typical decode point sits a few percent above k, so doubling
+        # steps from k touch far fewer packets than a wide bisection --
+        # and a failed probe *becomes* the checkpoint, so its packet
+        # applications and cascades are never repeated.  ``hi = -1`` marks
+        # runs still galloping (no decodable prefix seen yet).
+        cand_lengths = lengths[candidates]
+        num = candidates.size
+        # All received sequences as one flat array of stacked node ids, so
+        # a probe's delta packets are a single vectorised gather.
+        seq_offsets = np.zeros(num, dtype=np.int64)
+        np.cumsum(cand_lengths[:-1], out=seq_offsets[1:])
+        seq_flat = np.concatenate([received[r] for r in candidates])
+        seq_flat += np.repeat(np.arange(num, dtype=np.int64) * self.n, cand_lengths)
+
+        lo = np.full(num, self.k - 1, dtype=np.int64)
+        hi = np.full(num, -1, dtype=np.int64)
+        step = np.full(num, max(8, self.k >> 5), dtype=np.int64)
+        checkpoint = self._fresh_state(num)
+        everyone = np.arange(num, dtype=np.int64)
+        self._advance(
+            checkpoint, seq_flat, seq_offsets, everyone, np.zeros(num, dtype=np.int64), lo
+        )
+        while True:
+            galloping = hi < 0
+            active = np.nonzero(
+                (galloping & (lo < cand_lengths)) | (~galloping & (hi - lo > 1))
+            )[0]
+            if active.size == 0:
+                break
+            target = np.where(
+                galloping[active],
+                np.minimum(lo[active] + step[active], cand_lengths[active]),
+                (lo[active] + hi[active]) // 2,
+            )
+            probe = checkpoint.copy()
+            self._advance(probe, seq_flat, seq_offsets, active, lo[active], target)
+            ok = probe.source_counts[active] >= self.k
+            hi[active[ok]] = target[ok]
+            failed = active[~ok]
+            lo[failed] = target[~ok]
+            step[failed] <<= 1
+            # A failed probe is the peeling state at its target prefix:
+            # adopt it as the checkpoint instead of ever re-peeling.
+            checkpoint.adopt(probe, failed, self.num_checks + 1, self.n)
+        found = hi >= 0
+        decoded[candidates[found]] = True
+        n_necessary[candidates[found]] = hi[found]
+        return decoded, n_necessary
+
+    def _advance(
+        self,
+        state: _PeelState,
+        seq_flat: np.ndarray,
+        seq_offsets: np.ndarray,
+        runs: np.ndarray,
+        start: np.ndarray,
+        stop: np.ndarray,
+    ) -> None:
+        """Apply packets ``start[i]..stop[i]`` of each run in ``runs``.
+
+        Equivalent to feeding the packets one at a time to the incremental
+        decoder: receptions and the nodes they reveal propagate in
+        vectorised rounds until the cascade dies out or a run recovers all
+        ``k`` sources (completed runs stop cascading, like the incremental
+        decoder's early return).
+        """
+        N, k = self.n, self.k
+        known = state.known
+        deltas = stop - start
+        total = int(deltas.sum())
+        if total == 0:
+            return
+        ends = np.cumsum(deltas)
+        positions = np.arange(total, dtype=np.int64) + np.repeat(
+            seq_offsets[runs] + start - (ends - deltas), deltas
+        )
+        packets = seq_flat[positions]
+        # Packets already known -- duplicates in the schedule or nodes the
+        # cascade recovered before they arrived -- are no-ops, exactly as in
+        # the incremental decoder.
+        frontier = _dedup(packets[~known[packets]])
+        frontier = frontier[state.source_counts[frontier // N] < k]
+
+        packed = state.packed
+        row_stride = self.num_checks + 1
+        # Fresh sentinel words: their headroom bounds ghost hits per
+        # _advance call, not per decode.
+        packed[self.num_checks :: row_stride] = _SENTINEL_WORD
+        while frontier.size:
+            known[frontier] = True
+            run_of, local = np.divmod(frontier, N)
+            newly_sources = local < k
+            if newly_sources.any():
+                state.source_counts += np.bincount(
+                    run_of[newly_sources], minlength=state.source_counts.size
+                )
+            rows = self.col_rows_padded[local] + (run_of * row_stride)[:, None]
+            # One fused update per (row, node) edge: decrement the unknown
+            # count (high bits) and remove the node from the id sum (low
+            # bits) of every touched row; ghost slots hit the sentinels.
+            np.subtract.at(
+                packed, rows, local[:, None] + (np.int64(1) << _COUNT_SHIFT)
+            )
+            # A row may appear several times in ``rows``; if it ends the
+            # round at one unknown it yields the same candidate node each
+            # time, which the dedup below collapses.
+            words = packed[rows]
+            trigger = (words >> _COUNT_SHIFT) == 1
+            if not trigger.any():
+                frontier = _EMPTY
+                continue
+            # A row at one unknown reveals it: the id sum *is* the node.
+            # Runs that already recovered every source stop cascading (the
+            # incremental decoder returns early the same way -- completion
+            # cannot be undone, so the extra peeling could only waste time).
+            trigger_runs = rows[trigger] // row_stride
+            nodes = (words[trigger] & _SUM_MASK) + trigger_runs * np.int64(N)
+            nodes = nodes[(~known[nodes]) & (state.source_counts[trigger_runs] < k)]
+            frontier = _dedup(nodes)
+
+
+def _dedup(nodes: np.ndarray) -> np.ndarray:
+    """Sorted unique values; sort-based because the arrays are small and
+    ``np.unique``'s hash path costs ~100us of fixed overhead per call."""
+    if nodes.size <= 1:
+        return nodes
+    nodes = np.sort(nodes)
+    return nodes[np.concatenate(([True], nodes[1:] != nodes[:-1]))]
+
+
+def compile_ldgm_prototype(code: FECCode) -> DecoderPrototype:
+    try:
+        return LDGMPrototype(code)
+    except ValueError:
+        # Codes beyond the packed/sentinel bounds (n in the millions) fall
+        # back to the incremental replay; they are far outside the paper's
+        # parameter range and would be memory-bound here anyway.
+        return IncrementalPrototype(code)
+
+
+class IncrementalPrototype(DecoderPrototype):
+    """Fallback for codes without a vectorised prototype.
+
+    Replays each run through the code's own incremental symbolic decoder --
+    no speedup, but it keeps ``fastpath=True`` safe for every registered
+    code and is also the reference the equivalence tests compare against.
+    """
+
+    def decode_batch(
+        self, received: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        decoded = np.zeros(len(received), dtype=bool)
+        n_necessary = np.full(len(received), NOT_DECODED, dtype=np.int64)
+        for run, indices in enumerate(received):
+            decoder = self.code.new_symbolic_decoder()
+            for count, index in enumerate(indices, start=1):
+                if decoder.add_packet(index):
+                    n_necessary[run] = count
+                    break
+            decoded[run] = decoder.is_complete
+        return decoded, n_necessary
+
+
+# ---------------------------------------------------------------------------
+# Registry: code class -> prototype compiler.
+# ---------------------------------------------------------------------------
+
+PrototypeCompiler = Callable[[FECCode], DecoderPrototype]
+
+_COMPILERS: Dict[Type[FECCode], PrototypeCompiler] = {}
+
+#: Attribute under which the compiled prototype is cached on code instances.
+_CACHE_ATTR = "_fastpath_prototype"
+
+
+def register_prototype_compiler(
+    code_cls: Type[FECCode], compiler: PrototypeCompiler
+) -> None:
+    """Register a prototype compiler for a code class (and its subclasses)."""
+    _COMPILERS[code_cls] = compiler
+
+
+def _register_builtin_compilers() -> None:
+    from repro.fec.ldgm.code import LDGMCode, LDGMStaircaseCode, LDGMTriangleCode
+    from repro.fec.repetition import RepetitionCode
+    from repro.fec.rse.object_codec import ReedSolomonCode
+
+    for cls in (LDGMCode, LDGMStaircaseCode, LDGMTriangleCode):
+        register_prototype_compiler(cls, compile_ldgm_prototype)
+    register_prototype_compiler(ReedSolomonCode, compile_rse_prototype)
+    register_prototype_compiler(RepetitionCode, compile_repetition_prototype)
+
+
+_register_builtin_compilers()
+
+
+def compile_prototype(code: FECCode) -> DecoderPrototype:
+    """Return the (cached) batch-decoder prototype for a code instance."""
+    cached = getattr(code, _CACHE_ATTR, None)
+    if cached is not None and cached.code is code:
+        return cached
+    compiler: PrototypeCompiler = IncrementalPrototype
+    for cls in type(code).__mro__:
+        registered = _COMPILERS.get(cls)
+        if registered is not None:
+            compiler = registered
+            break
+    prototype = compiler(code)
+    setattr(code, _CACHE_ATTR, prototype)
+    return prototype
+
+
+__all__ = [
+    "NOT_DECODED",
+    "DecoderPrototype",
+    "BlockCountPrototype",
+    "LDGMPrototype",
+    "IncrementalPrototype",
+    "compile_prototype",
+    "register_prototype_compiler",
+    "compile_ldgm_prototype",
+    "compile_rse_prototype",
+    "compile_repetition_prototype",
+]

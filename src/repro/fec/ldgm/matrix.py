@@ -95,37 +95,105 @@ class ParityCheckMatrix:
         """All (global) columns of check row ``row``."""
         return np.concatenate([self.source_cols[row], self.parity_cols[row]])
 
+    def row_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR-style (indptr, cols) adjacency from check rows to columns.
+
+        ``cols[indptr[r]:indptr[r + 1]]`` lists the (global) message nodes of
+        check row ``r``, source columns first.  Cached after the first call;
+        this flat form is what the vectorised decoders operate on.
+        """
+        cached = getattr(self, "_row_csr_cache", None)
+        if cached is not None:
+            return cached
+        row_lengths = np.fromiter(
+            (
+                self.source_cols[row].size + self.parity_cols[row].size
+                for row in range(self.num_checks)
+            ),
+            dtype=np.int64,
+            count=self.num_checks,
+        )
+        indptr = np.zeros(self.num_checks + 1, dtype=np.int64)
+        np.cumsum(row_lengths, out=indptr[1:])
+        pairs = [
+            array
+            for row in range(self.num_checks)
+            for array in (self.source_cols[row], self.parity_cols[row])
+        ]
+        cols = (
+            np.concatenate(pairs).astype(np.int64, copy=False)
+            if pairs
+            else np.zeros(0, dtype=np.int64)
+        )
+        self._row_csr_cache = (indptr, cols)
+        return self._row_csr_cache
+
+    def row_degrees(self) -> np.ndarray:
+        """Degree of every check row, length ``num_checks``."""
+        indptr, _cols = self.row_csr()
+        return np.diff(indptr)
+
     def column_degrees(self) -> np.ndarray:
-        """Degree of every message node (column), length ``n``."""
-        degrees = np.zeros(self.n, dtype=np.int64)
-        for row in range(self.num_checks):
-            degrees[self.source_cols[row]] += 1
-            degrees[self.parity_cols[row]] += 1
-        return degrees
+        """Degree of every message node (column), length ``n``.
+
+        Cached after the first call and built with one ``np.bincount`` over
+        the flattened row arrays instead of a per-row Python loop.
+        """
+        cached = getattr(self, "_column_degrees_cache", None)
+        if cached is not None:
+            return cached
+        _indptr, cols = self.row_csr()
+        self._column_degrees_cache = np.bincount(cols, minlength=self.n).astype(
+            np.int64, copy=False
+        )
+        return self._column_degrees_cache
 
     def column_adjacency(self) -> tuple[np.ndarray, np.ndarray]:
         """CSR-style (indptr, rows) adjacency from columns to check rows.
 
         ``rows[indptr[v]:indptr[v + 1]]`` lists the check rows that involve
-        message node ``v``.  Cached after the first call.
+        message node ``v``, in increasing row order.  Cached after the first
+        call and built by one stable argsort over the flattened row arrays
+        (the concatenation enumerates rows in order, so the stable sort by
+        column preserves the per-column row ordering of the historical
+        nested-loop construction).
         """
         cached = getattr(self, "_adjacency_cache", None)
         if cached is not None:
             return cached
+        row_ptr, cols = self.row_csr()
         degrees = self.column_degrees()
         indptr = np.zeros(self.n + 1, dtype=np.int64)
         np.cumsum(degrees, out=indptr[1:])
-        rows = np.empty(int(indptr[-1]), dtype=np.int64)
-        cursor = indptr[:-1].copy()
-        for row in range(self.num_checks):
-            for col in self.source_cols[row]:
-                rows[cursor[col]] = row
-                cursor[col] += 1
-            for col in self.parity_cols[row]:
-                rows[cursor[col]] = row
-                cursor[col] += 1
-        self._adjacency_cache = (indptr, rows)
+        row_ids = np.repeat(
+            np.arange(self.num_checks, dtype=np.int64), np.diff(row_ptr)
+        )
+        order = np.argsort(cols, kind="stable")
+        self._adjacency_cache = (indptr, row_ids[order])
         return self._adjacency_cache
+
+    def initial_row_state(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row (unknown count, XOR of unknown columns) before any packet.
+
+        This is the decoder state the symbolic peeling decoder starts from;
+        it is computed once per matrix (``np.add.reduceat`` /
+        ``np.bitwise_xor.reduceat`` over the row CSR) and *copied* by every
+        decoder instance instead of being rebuilt with Python loops.
+        """
+        cached = getattr(self, "_initial_row_state_cache", None)
+        if cached is not None:
+            return cached
+        indptr, cols = self.row_csr()
+        unknowns = self.row_degrees()
+        if cols.size:
+            xor_unknown = np.bitwise_xor.reduceat(cols, indptr[:-1])
+            # reduceat misbehaves on empty segments (it returns the element
+            # *at* the segment start); force those rows to the empty XOR, 0.
+            xor_unknown[unknowns == 0] = 0
+        else:
+            xor_unknown = np.zeros(self.num_checks, dtype=np.int64)
+        self._initial_row_state_cache = (unknowns, xor_unknown)
+        return self._initial_row_state_cache
 
     def to_dense(self) -> np.ndarray:
         """Dense 0/1 matrix, for tests and small examples only."""

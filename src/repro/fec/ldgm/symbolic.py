@@ -31,17 +31,13 @@ class LDGMSymbolicDecoder(SymbolicDecoder):
         self._matrix = matrix
         self._k = matrix.k
         self._n = matrix.n
-        num_checks = matrix.num_checks
 
-        self._unknowns = np.empty(num_checks, dtype=np.int64)
-        self._xor_unknown = np.zeros(num_checks, dtype=np.int64)
-        for row in range(num_checks):
-            cols = matrix.row_columns(row)
-            self._unknowns[row] = cols.size
-            accumulator = 0
-            for col in cols:
-                accumulator ^= int(col)
-            self._xor_unknown[row] = accumulator
+        # The initial per-row state and the adjacency are identical for every
+        # decoder of the same matrix; copy the precompiled prototype instead
+        # of rebuilding it with per-row/per-column Python loops.
+        unknowns, xor_unknown = matrix.initial_row_state()
+        self._unknowns = unknowns.copy()
+        self._xor_unknown = xor_unknown.copy()
 
         indptr, rows = matrix.column_adjacency()
         self._adj_indptr = indptr

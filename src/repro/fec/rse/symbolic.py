@@ -58,12 +58,16 @@ class RSESymbolicDecoder(SymbolicDecoder):
 
         For incomplete blocks only the *received* source packets count (the
         MDS decode of a block only happens once ``k_b`` packets are there);
-        completed blocks contribute all their source packets.
+        completed blocks contribute all their source packets.  Computed with
+        one masked ``np.bincount`` over the seen source packets instead of a
+        per-block Python loop.
         """
-        partial = 0
-        for block in self._layout.blocks:
-            if not self._block_complete[block.block_id]:
-                partial += int(np.count_nonzero(self._seen[block.source_indices]))
+        k = self._layout.k
+        seen_sources = np.nonzero(self._seen[:k])[0]
+        per_block = np.bincount(
+            self._block_of[seen_sources], minlength=self._layout.num_blocks
+        )
+        partial = int(per_block[~self._block_complete].sum())
         return self._decoded_sources + partial
 
 

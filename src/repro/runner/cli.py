@@ -7,8 +7,10 @@ Subcommands
 ``run``
     Execute one experiment preset at a chosen scale, with ``--workers``
     for process-pool parallelism, the on-disk result cache for resumable
-    runs (``--no-cache`` to disable), and optional CSV / appendix-style
-    table output through the analysis layer.
+    runs (``--no-cache`` to disable), the vectorised batch decoder
+    (``--no-fastpath`` falls back to the incremental reference path --
+    results are bit-identical either way), and optional CSV /
+    appendix-style table output through the analysis layer.
 ``cache``
     Inspect (``cache info``) or empty (``cache clear``) the result cache.
 
@@ -98,6 +100,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})",
     )
     run.add_argument(
+        "--fastpath",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "decode each work unit as one vectorised batch (default; "
+            "bit-identical to --no-fastpath, which keeps the incremental "
+            "reference path)"
+        ),
+    )
+    run.add_argument(
         "--csv-dir",
         default=None,
         help="write one CSV grid per configuration into this directory",
@@ -156,7 +168,8 @@ def _cmd_run(args, out, err) -> int:
     print(
         f"{spec.paper_reference}: {spec.title}\n"
         f"scale={args.scale} seed={args.seed} "
-        f"workers={args.workers or 1} cache={'off' if cache is None else args.cache_dir}",
+        f"workers={args.workers or 1} cache={'off' if cache is None else args.cache_dir} "
+        f"fastpath={'on' if args.fastpath else 'off'}",
         file=out,
     )
 
@@ -186,6 +199,7 @@ def _cmd_run(args, out, err) -> int:
         executor=args.executor,
         workers=args.workers,
         cache=cache,
+        fastpath=args.fastpath,
         progress_factory=per_config_progress,
     )
     if not args.quiet:

@@ -123,6 +123,7 @@ def run_grid(
     workers: Optional[int] = None,
     cache: CacheSpec = None,
     runs_per_unit: Optional[int] = None,
+    fastpath: bool = True,
 ) -> GridResult:
     """Sweep the Gilbert (p, q) grid for one configuration.
 
@@ -151,6 +152,7 @@ def run_grid(
         base_seed=base_seed,
         fresh_code_per_run=fresh_code_per_run,
         runs_per_unit=runs_per_unit,
+        fastpath=fastpath,
     )
     results = _execute(
         units,
@@ -208,6 +210,7 @@ def run_series(
     workers: Optional[int] = None,
     cache: CacheSpec = None,
     runs_per_unit: Optional[int] = None,
+    fastpath: bool = True,
     label: str = "",
 ) -> SeriesResult:
     """Sweep a pre-built list of configurations at a fixed (p, q) point.
@@ -235,6 +238,7 @@ def run_series(
         fresh_code_per_run=fresh_code_per_run,
         code_seed_by_path=True,
         runs_per_unit=runs_per_unit,
+        fastpath=fastpath,
     )
     results = _execute(
         units,

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.channel.gilbert import GilbertChannel
 from repro.core.config import SimulationConfig
+from repro.core.metrics import RunResult
 from repro.core.simulator import Simulator
 
 #: Cell identifier inside one sweep: ``(i, j)`` for grids, ``(index,)`` for
@@ -56,6 +57,11 @@ class WorkUnit:
         ``default_rng(base_seed)`` (the grid sweep's historical behaviour),
         a tuple builds it from ``SeedSequence([base_seed, *path])`` (used by
         parameter sweeps so neighbouring indices cannot collide).
+    fastpath:
+        Execute the unit's run range as one vectorised batch through
+        :mod:`repro.fastpath` (bit-identical to the incremental path, so
+        the flag is *not* part of the cache key); ``False`` keeps the
+        per-run reference loop.
     """
 
     config: SimulationConfig
@@ -67,6 +73,7 @@ class WorkUnit:
     base_seed: int
     fresh_code_per_run: bool = False
     code_seed_path: Optional[SeedPath] = None
+    fastpath: bool = True
 
     @property
     def runs(self) -> int:
@@ -99,6 +106,7 @@ def plan_units(
     fresh_code_per_run: bool = False,
     code_seed_by_path: bool = False,
     runs_per_unit: Optional[int] = None,
+    fastpath: bool = True,
 ) -> List[WorkUnit]:
     """Shard a sweep into work units.
 
@@ -112,6 +120,8 @@ def plan_units(
     code_seed_by_path:
         Derive each cell's shared code seed from its ``seed_path`` instead
         of the sweep-wide ``base_seed`` (parameter-sweep behaviour).
+    fastpath:
+        Execute each unit's run range as one vectorised batch (default).
     """
     chunk = runs if runs_per_unit is None else max(1, int(runs_per_unit))
     units: List[WorkUnit] = []
@@ -130,6 +140,7 @@ def plan_units(
                     code_seed_path=tuple(int(x) for x in seed_path)
                     if code_seed_by_path
                     else None,
+                    fastpath=bool(fastpath),
                 )
             )
     return units
@@ -162,25 +173,59 @@ def _shared_code(unit: WorkUnit):
     return code
 
 
-def execute_unit(unit: WorkUnit) -> UnitResult:
-    """Run every transmission of one unit and collect the raw outcomes."""
+def _run_rng(unit: WorkUnit, run: int) -> np.random.Generator:
+    return np.random.default_rng(
+        np.random.SeedSequence([unit.base_seed, *unit.seed_path, run])
+    )
+
+
+def _unit_run_results(unit: WorkUnit) -> List["RunResult"]:
+    """Per-run outcomes of one unit, in run order."""
+    from repro.fastpath import simulate_batch
+
     tx_model = unit.config.build_tx_model()
     channel = GilbertChannel(unit.p, unit.q)
-    shared_code = None if unit.fresh_code_per_run else _shared_code(unit)
+    runs = range(unit.run_start, unit.run_stop)
 
+    if not unit.fresh_code_per_run:
+        code = _shared_code(unit)
+        if unit.fastpath:
+            # The whole run range is one vectorised batch: each run keeps
+            # its own generator, so the batch is bit-identical to the
+            # incremental loop below.
+            return simulate_batch(
+                code,
+                tx_model,
+                channel,
+                [_run_rng(unit, run) for run in runs],
+                nsent=unit.config.nsent,
+            )
+        simulator = Simulator(code, tx_model, channel)
+        return [simulator.run(_run_rng(unit, run), nsent=unit.config.nsent) for run in runs]
+
+    # Fresh code per run: the code must be drawn from the run generator
+    # *before* the schedule, so each run is its own batch of one.
+    results: List[RunResult] = []
+    for run in runs:
+        run_rng = _run_rng(unit, run)
+        code = unit.config.build_code(seed=run_rng)
+        if unit.fastpath:
+            results.extend(
+                simulate_batch(code, tx_model, channel, [run_rng], nsent=unit.config.nsent)
+            )
+        else:
+            results.append(
+                Simulator(code, tx_model, channel).run(run_rng, nsent=unit.config.nsent)
+            )
+    return results
+
+
+def execute_unit(unit: WorkUnit) -> UnitResult:
+    """Run every transmission of one unit and collect the raw outcomes."""
     inefficiency_ratios: List[float] = []
     received_ratios: List[float] = []
     failures = 0
-    for run in range(unit.run_start, unit.run_stop):
-        run_rng = np.random.default_rng(
-            np.random.SeedSequence([unit.base_seed, *unit.seed_path, run])
-        )
-        if unit.fresh_code_per_run:
-            code = unit.config.build_code(seed=run_rng)
-        else:
-            code = shared_code
-        simulator = Simulator(code, tx_model, channel)
-        result = simulator.run(run_rng, nsent=unit.config.nsent)
+    for result in _unit_run_results(unit):
         received_ratios.append(result.received_ratio)
         if result.decoded:
             inefficiency_ratios.append(result.inefficiency_ratio)
