@@ -64,6 +64,18 @@ def bench_fastpath() -> bool:
     return value not in ("0", "false", "no", "off")
 
 
+def bench_kernel() -> Optional[str]:
+    """Kernel backend for the benchmark harness (``REPRO_KERNEL``).
+
+    ``None`` lets :func:`repro.kernels.get_backend` resolve the default
+    (numba when importable, else cext when a C compiler is present, else
+    numpy); any registered backend name selects it explicitly.  Results
+    are bit-identical across backends.
+    """
+    value = os.environ.get("REPRO_KERNEL", "").strip().lower()
+    return value or None
+
+
 def results_path(name: str) -> Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR / name
@@ -77,18 +89,22 @@ def run_figure_experiment(
     seed: int = BENCH_SEED,
     workers: Optional[int] = None,
     fastpath: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> Dict[str, GridResult]:
     """Run every configuration of a figure preset and persist the grids.
 
     ``workers`` (default: the ``REPRO_BENCH_WORKERS`` environment variable)
     fans the grid cells out over the runner's process-pool executor;
     ``fastpath`` (default: ``REPRO_BENCH_FASTPATH``, on unless set to 0)
-    selects the vectorised batch decoder.
+    selects the vectorised batch decoder; ``kernel`` (default: the
+    ``REPRO_KERNEL`` environment variable / auto) the kernel backend.
     """
     if workers is None:
         workers = bench_workers()
     if fastpath is None:
         fastpath = bench_fastpath()
+    if kernel is None:
+        kernel = bench_kernel()
     spec = get_experiment(experiment_id)
     grids: Dict[str, GridResult] = {}
     for config in spec.scaled_configs(scale):
@@ -100,6 +116,7 @@ def run_figure_experiment(
             seed=seed,
             workers=workers,
             fastpath=fastpath,
+            kernel=kernel,
         )
         grids[config.display_label] = grid
         slug = label_slug(config.display_label)

@@ -1,4 +1,4 @@
-"""Microbenchmark: incremental decode loop vs the vectorised fast path.
+"""Microbenchmark: incremental decode loop vs the fast path, per kernel.
 
 Measures end-to-end simulation throughput (runs/second: schedule + channel
 + decode to ``n_necessary``) per code family at k = 1000, comparing
@@ -6,14 +6,18 @@ Measures end-to-end simulation throughput (runs/second: schedule + channel
 * **serial** -- the incremental reference path (``fastpath=False``: one
   ``Simulator.run`` per run, per-packet ``add_packet`` loop), and
 * **fastpath** -- :func:`repro.fastpath.simulate_batch` decoding a whole
-  work-unit-sized batch of runs at once.
+  work-unit-sized batch of runs at once, once per available
+  :mod:`repro.kernels` backend (the vectorised ``numpy`` reference with
+  its chain-aware staircase cascade, plus whichever compiled backends --
+  ``numba``, ``cext`` -- this machine can build).
 
-Every sample is checked for bit-identity before timing.  The measured
-throughputs are appended to ``benchmarks/BENCH.json`` so the
-performance trajectory of the decode path is recorded PR over PR (the
-acceptance bar for this PR: >= 10x for ldgm-staircase at k = 1000 against
-the pre-PR serial path, whose throughput is recorded in the entry's
-``baseline`` block).
+Every (kernel, family) sample is checked for bit-identity against the
+serial path before timing.  The measured throughputs are appended to
+``benchmarks/BENCH.json`` (schema 2: per-kernel columns plus the numba /
+C-compiler provenance) so the performance trajectory of the decode path
+is recorded PR over PR; the ``fastpath_runs_per_sec`` headline is the
+``auto``-selected backend, and ``speedup_vs_prev_fastpath`` compares it
+against the previous entry's headline on the same seeds and batch size.
 
 Run directly::
 
@@ -38,6 +42,7 @@ from repro.channel.gilbert import GilbertChannel
 from repro.core.simulator import Simulator
 from repro.fastpath import simulate_batch
 from repro.fec.registry import make_code
+from repro.kernels import available_backends, default_backend_name
 from repro.scheduling.registry import make_tx_model
 
 #: Code families benchmarked (name, expansion ratio).  Repetition needs an
@@ -63,6 +68,20 @@ BATCH_RUNS = 960
 #: regenerable CSV output and is gitignored; the trajectory is not).
 BENCH_JSON = Path(__file__).parent / "BENCH.json"
 
+#: Current ledger schema: 2 adds per-kernel throughput columns and the
+#: numba / C-compiler provenance fields.
+BENCH_SCHEMA = 2
+
+
+def _bench_kernels() -> list[str]:
+    """Backends measured: the numpy reference plus compiled ones.
+
+    The ``python`` loop backend is exercised by the test suite, not the
+    benchmark -- uncompiled Python loops at k = 1000 would only slow the
+    ledger down without informing any decision.
+    """
+    return [name for name in available_backends() if name != "python"]
+
 
 def _rngs(count: int):
     return [
@@ -71,16 +90,19 @@ def _rngs(count: int):
     ]
 
 
-def _measure(family: str, ratio: float) -> dict:
+def _measure(family: str, ratio: float, kernels: list[str]) -> dict:
     code = make_code(family, k=K, expansion_ratio=ratio, seed=1)
     tx_model = make_tx_model(TX_MODEL)
     channel = GilbertChannel(P, Q)
 
-    # Equivalence gate before timing anything.
+    # Equivalence gate before timing anything, per kernel.
     simulator = Simulator(code, tx_model, channel)
     reference = [simulator.run(rng) for rng in _rngs(20)]
-    if simulate_batch(code, tx_model, channel, _rngs(20)) != reference:
-        raise AssertionError(f"fastpath diverged from the serial path for {family}")
+    for kernel in kernels:
+        if simulate_batch(code, tx_model, channel, _rngs(20), kernel=kernel) != reference:
+            raise AssertionError(
+                f"fastpath[{kernel}] diverged from the serial path for {family}"
+            )
 
     best_serial = 0.0
     for _ in range(2):
@@ -91,25 +113,62 @@ def _measure(family: str, ratio: float) -> dict:
         elapsed = time.perf_counter() - started
         best_serial = max(best_serial, SERIAL_RUNS / elapsed)
 
-    simulate_batch(code, tx_model, channel, _rngs(8))  # warm the prototype
-    best_fast = 0.0
-    for _ in range(2):
-        started = time.perf_counter()
-        simulate_batch(code, tx_model, channel, _rngs(BATCH_RUNS))
-        elapsed = time.perf_counter() - started
-        best_fast = max(best_fast, BATCH_RUNS / elapsed)
+    by_kernel: dict[str, float] = {}
+    for kernel in kernels:
+        simulate_batch(code, tx_model, channel, _rngs(8), kernel=kernel)  # warm
+        best = 0.0
+        for _ in range(2):
+            started = time.perf_counter()
+            simulate_batch(code, tx_model, channel, _rngs(BATCH_RUNS), kernel=kernel)
+            elapsed = time.perf_counter() - started
+            best = max(best, BATCH_RUNS / elapsed)
+        by_kernel[kernel] = round(best, 1)
 
+    headline_kernel = default_backend_name()
+    if headline_kernel not in by_kernel:
+        headline_kernel = "numpy"
+    headline = by_kernel[headline_kernel]
     return {
         "code": family,
         "expansion_ratio": ratio,
         "serial_runs_per_sec": round(best_serial, 1),
-        "fastpath_runs_per_sec": round(best_fast, 1),
-        "speedup": round(best_fast / best_serial, 2),
+        "fastpath_runs_per_sec": headline,
+        "kernel": headline_kernel,
+        "fastpath_runs_per_sec_by_kernel": by_kernel,
+        "speedup": round(headline / best_serial, 2),
+    }
+
+
+def _provenance() -> dict:
+    try:
+        from repro.kernels.numba_backend import numba_version
+
+        numba = numba_version()
+    except ImportError:
+        numba = None
+    try:
+        from repro.kernels.cext import compiler
+
+        cext_compiler = compiler()
+    except ImportError:  # pragma: no cover - cext module always importable
+        cext_compiler = None
+    return {"numba": numba, "cext_compiler": cext_compiler}
+
+
+def _previous_fastpath(payload: dict) -> dict:
+    """Headline fastpath runs/sec per code of the ledger's last entry."""
+    entries = payload.get("entries", [])
+    if not entries:
+        return {}
+    return {
+        row["code"]: row.get("fastpath_runs_per_sec")
+        for row in entries[-1].get("results", [])
     }
 
 
 def run_benchmark() -> dict:
-    rows = [_measure(family, ratio) for family, ratio in FAMILIES]
+    kernels = _bench_kernels()
+    rows = [_measure(family, ratio, kernels) for family, ratio in FAMILIES]
     entry = {
         "benchmark": "decoder_fastpath",
         "date": date.today().isoformat(),
@@ -121,6 +180,8 @@ def run_benchmark() -> dict:
         "serial_runs": SERIAL_RUNS,
         "batch_runs": BATCH_RUNS,
         "seed": BENCH_SEED,
+        "kernels": kernels,
+        **_provenance(),
         "results": rows,
     }
     return entry
@@ -131,7 +192,16 @@ def append_to_bench_json(entry: dict) -> Path:
     if destination.exists():
         payload = json.loads(destination.read_text(encoding="utf-8"))
     else:
-        payload = {"schema": 1, "entries": []}
+        payload = {"schema": BENCH_SCHEMA, "entries": []}
+    previous = _previous_fastpath(payload)
+    for row in entry["results"]:
+        prior = previous.get(row["code"])
+        if prior:
+            row["speedup_vs_prev_fastpath"] = round(
+                row["fastpath_runs_per_sec"] / prior, 2
+            )
+    # Schema 2 adds fields to new entries without rewriting old ones.
+    payload["schema"] = max(int(payload.get("schema", 1)), BENCH_SCHEMA)
     payload["entries"].append(entry)
     destination.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return destination
@@ -139,12 +209,18 @@ def append_to_bench_json(entry: dict) -> Path:
 
 def main() -> int:
     entry = run_benchmark()
-    print(f"decoder fastpath microbenchmark (k={K}, {TX_MODEL}, Gilbert p={P} q={Q})")
+    print(
+        f"decoder fastpath microbenchmark (k={K}, {TX_MODEL}, Gilbert p={P} q={Q}; "
+        f"kernels: {', '.join(entry['kernels'])})"
+    )
     for row in entry["results"]:
+        per_kernel = "   ".join(
+            f"{name} {rate:8.1f}"
+            for name, rate in row["fastpath_runs_per_sec_by_kernel"].items()
+        )
         print(
             f"  {row['code']:16s} serial {row['serial_runs_per_sec']:8.1f} runs/s   "
-            f"fastpath {row['fastpath_runs_per_sec']:8.1f} runs/s   "
-            f"speedup {row['speedup']:6.2f}x"
+            f"{per_kernel}   [{row['kernel']}] speedup {row['speedup']:6.2f}x"
         )
     destination = append_to_bench_json(entry)
     print(f"recorded in {destination}")

@@ -19,8 +19,21 @@ class LossModel(abc.ABC):
     """
 
     @abc.abstractmethod
-    def loss_mask(self, count: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        """Return a boolean array of length ``count``; ``True`` marks a *lost* packet."""
+    def loss_mask(
+        self,
+        count: int,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        kernel=None,
+    ) -> np.ndarray:
+        """Return a boolean array of length ``count``; ``True`` marks a *lost* packet.
+
+        ``kernel`` optionally selects a :mod:`repro.kernels` backend for
+        models with a kernelised hot loop (the Gilbert sojourn fill);
+        models without one accept and ignore it, so callers can thread
+        their backend without per-channel special cases.  Masks are
+        bit-identical for any ``kernel`` value.
+        """
 
     def reception_mask(self, count: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Complement of :meth:`loss_mask`: ``True`` marks a received packet."""

@@ -26,7 +26,13 @@ class BernoulliChannel(LossModel):
     def global_loss_probability(self) -> float:
         return self.loss_rate
 
-    def loss_mask(self, count: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    def loss_mask(
+        self,
+        count: int,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        kernel=None,
+    ) -> np.ndarray:
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         rng = ensure_rng(rng)
@@ -47,7 +53,13 @@ class PerfectChannel(LossModel):
     def global_loss_probability(self) -> float:
         return 0.0
 
-    def loss_mask(self, count: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    def loss_mask(
+        self,
+        count: int,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        kernel=None,
+    ) -> np.ndarray:
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         return np.zeros(count, dtype=bool)

@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.channel.base import LossModel
+from repro.kernels import KernelSpec, get_backend
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import validate_probability
 
@@ -86,16 +87,24 @@ class GilbertChannel(LossModel):
     #: Geometric sojourn lengths are drawn in batches of this many runs.
     _SOJOURN_BATCH = 256
 
-    def loss_mask(self, count: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    def loss_mask(
+        self,
+        count: int,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        kernel: KernelSpec = None,
+    ) -> np.ndarray:
         """Simulate ``count`` packet transmissions started in steady state.
 
         The chain is memoryless, so given the initial state (drawn from the
         stationary distribution) the residual sojourn times are geometric.
-        Sojourn lengths are drawn in batches and expanded into the mask with
-        ``np.repeat`` -- no Python loop over packets or sojourns.  The draw
-        sequence is identical to :meth:`_loss_mask_serial` (one uniform for
-        the initial state, then alternating geometric batches), so masks are
-        bit-identical to the historical serial chain for any seed.
+        Sojourn lengths are drawn here in batches -- one uniform for the
+        initial state, then alternating geometric batches, exactly the draw
+        sequence of :meth:`_loss_mask_serial` -- and expanded into the mask
+        by the selected :mod:`repro.kernels` backend (vectorised
+        ``np.repeat`` on numpy, a compiled loop on numba).  Every backend
+        consumes the generator identically and produces masks bit-identical
+        to the historical serial chain for any seed.
         """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
@@ -111,40 +120,18 @@ class GilbertChannel(LossModel):
             mask[:] = True
             return mask
 
+        backend = get_backend(kernel)
         batch_size = self._SOJOURN_BATCH
         in_loss_state = bool(rng.random() < self.global_loss_probability)
-        even_position = np.arange(batch_size) % 2 == 0
         filled = 0
         while filled < count:
             gap_runs = rng.geometric(self.p, size=batch_size)
             burst_runs = rng.geometric(self.q, size=batch_size)
-            # The serial chain consumes sojourn ``index`` from the array of
-            # its current state and toggles the state after every sojourn,
-            # so the states alternate along the batch and each array only
-            # contributes its even or odd positions.
-            states = np.where(even_position, in_loss_state, not in_loss_state)
-            runs = np.where(states, burst_runs, gap_runs)
-            remaining = count - filled
-            # Cap sojourns at the remaining space, as the serial chain does
-            # per sojourn; tiny p/q make rng.geometric saturate at 2**63 - 1
-            # and an uncapped cumulative sum would overflow.  The cap cannot
-            # change which sojourn crosses ``remaining`` or any earlier one.
-            runs = np.minimum(runs, remaining)
-            cumulative = np.cumsum(runs)
-            if cumulative[-1] >= remaining:
-                # The batch overshoots: truncate the final sojourn so the
-                # expansion ends exactly at ``count`` (the serial chain caps
-                # each sojourn at the remaining space the same way).
-                cut = int(np.searchsorted(cumulative, remaining))
-                runs = runs[: cut + 1].copy()
-                runs[cut] = remaining - (cumulative[cut - 1] if cut else 0)
-                mask[filled:] = np.repeat(states[: cut + 1], runs)
-                filled = count
-            else:
-                segment = np.repeat(states, runs)
-                mask[filled : filled + segment.size] = segment
-                filled += segment.size
-                # An even number of sojourns leaves the state unchanged.
+            # An even number of sojourns per batch leaves the state
+            # unchanged, so ``in_loss_state`` is loop-invariant.
+            filled = backend.fill_sojourns(
+                mask, filled, in_loss_state, gap_runs, burst_runs
+            )
         return mask
 
     def _loss_mask_serial(

@@ -33,7 +33,13 @@ class PeriodicBurstChannel(LossModel):
     def global_loss_probability(self) -> float:
         return self.burst_length / self.period
 
-    def loss_mask(self, count: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    def loss_mask(
+        self,
+        count: int,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        kernel=None,
+    ) -> np.ndarray:
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         positions = (np.arange(count) + self.offset) % self.period

@@ -53,7 +53,13 @@ class TraceChannel(LossModel):
     def global_loss_probability(self) -> float:
         return float(np.count_nonzero(self.trace)) / self.trace.size
 
-    def loss_mask(self, count: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    def loss_mask(
+        self,
+        count: int,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        kernel=None,
+    ) -> np.ndarray:
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         rng = ensure_rng(rng)

@@ -279,6 +279,7 @@ def run_experiment(
     workers: Optional[int] = None,
     cache: CacheSpec = None,
     fastpath: bool = True,
+    kernel: Optional[str] = None,
     progress_factory: Optional[ProgressFactory] = None,
 ) -> Dict[str, GridResult]:
     """Run every configuration of an experiment and return grids by label.
@@ -319,6 +320,7 @@ def run_experiment(
             workers=workers,
             cache=cache,
             fastpath=fastpath,
+            kernel=kernel,
         )
         results[config.display_label] = grid
     return results

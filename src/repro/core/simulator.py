@@ -76,7 +76,12 @@ class Simulator:
         if nsent is not None:
             schedule = schedule[: validate_positive_int(nsent, "nsent")]
 
-        loss_mask = self.channel.loss_mask(schedule.size, rng)
+        # The incremental path is the *reference* the fast path is checked
+        # against, so its channel sampling is pinned to the numpy kernel:
+        # a compiled-backend bug must not be able to reproduce on both
+        # sides of an equivalence gate (outputs are bit-identical either
+        # way; channels without a kernelised loop ignore the selection).
+        loss_mask = self.channel.loss_mask(schedule.size, rng, kernel="numpy")
         received = schedule[~loss_mask]
 
         decoder = self.code.new_symbolic_decoder()
@@ -105,20 +110,28 @@ class Simulator:
         nsent: Optional[int] = None,
         *,
         fastpath: bool = True,
+        kernel: Optional[str] = None,
     ) -> list[RunResult]:
         """Simulate ``runs`` independent transmissions.
 
         With ``fastpath=True`` (the default) the whole batch is decoded by
         the vectorised :mod:`repro.fastpath` engine -- bit-identical to the
         incremental loop for any seed; ``fastpath=False`` keeps the
-        per-packet reference path.
+        per-packet reference path.  ``kernel`` selects the
+        :mod:`repro.kernels` backend for the batch decode (name or backend
+        instance; default: ``REPRO_KERNEL`` / auto).
         """
         rng = ensure_rng(rng)
         if fastpath:
             from repro.fastpath import simulate_batch
 
             return simulate_batch(
-                self.code, self.tx_model, self.channel, [rng] * runs, nsent=nsent
+                self.code,
+                self.tx_model,
+                self.channel,
+                [rng] * runs,
+                nsent=nsent,
+                kernel=kernel,
             )
         return [self.run(rng, nsent=nsent) for _ in range(runs)]
 

@@ -42,6 +42,7 @@ def simulate_grid(
     workers: Optional[int] = None,
     cache: CacheSpec = None,
     fastpath: bool = True,
+    kernel: Optional[str] = None,
 ) -> GridResult:
     """Sweep the Gilbert (p, q) grid for one configuration.
 
@@ -79,6 +80,11 @@ def simulate_grid(
         Decode each work unit's run range as one vectorised batch through
         :mod:`repro.fastpath` (default; bit-identical to the incremental
         path).  ``False`` keeps the per-packet reference loop.
+    kernel:
+        :mod:`repro.kernels` backend name for the batch decode hot loops
+        (``"numpy"``, ``"numba"``, ``"cext"``, ``"python"``; default
+        resolves ``REPRO_KERNEL`` / auto = numba > cext > numpy).
+        Bit-identical across backends.
     """
     return run_grid(
         config,
@@ -92,6 +98,7 @@ def simulate_grid(
         workers=workers,
         cache=cache,
         fastpath=fastpath,
+        kernel=kernel,
     )
 
 
@@ -110,6 +117,7 @@ def sweep_parameter(
     workers: Optional[int] = None,
     cache: CacheSpec = None,
     fastpath: bool = True,
+    kernel: Optional[str] = None,
     label: str = "",
 ) -> SeriesResult:
     """Sweep an arbitrary scalar parameter at a fixed (p, q) point.
@@ -134,7 +142,7 @@ def sweep_parameter(
         Rebuild the FEC code from the run stream for every run.
     progress:
         Optional callback ``(done_points, total_points)``.
-    executor, workers, cache, fastpath:
+    executor, workers, cache, fastpath, kernel:
         Execution/caching knobs, as in :func:`simulate_grid`.
     """
     values = [float(value) for value in parameter_values]
@@ -153,6 +161,7 @@ def sweep_parameter(
         workers=workers,
         cache=cache,
         fastpath=fastpath,
+        kernel=kernel,
         label=label,
     )
 

@@ -8,13 +8,17 @@ is **bit-identical** for any seed:
 
 * :mod:`repro.fastpath.prototypes` -- per-code precompiled decoder state
   and the batched decode algorithms (closed-form RSE/repetition counting,
-  lockstep-bisection LDGM peeling, incremental fallback).
+  LDGM peeling on a pluggable :mod:`repro.kernels` backend, incremental
+  fallback).
 * :mod:`repro.fastpath.batch` -- :func:`simulate_batch`, the drop-in batch
   equivalent of running the simulator once per run.
 
 Selected by default through ``Simulator.run_many(fastpath=True)``, the
 runner work units and the benchmark harness; pass ``fastpath=False`` (or
-``--no-fastpath`` on the CLI) to fall back to the incremental path.
+``--no-fastpath`` on the CLI) to fall back to the incremental path, and
+``kernel=`` / ``--kernel`` / ``REPRO_KERNEL`` to pick the kernel backend
+(numpy reference or the optional numba JIT -- results are bit-identical
+either way).
 """
 
 from repro.fastpath.batch import MAX_STACKED_EDGES, simulate_batch
@@ -24,6 +28,7 @@ from repro.fastpath.prototypes import (
     DecoderPrototype,
     IncrementalPrototype,
     LDGMPrototype,
+    ReceivedBatch,
     compile_prototype,
     register_prototype_compiler,
 )
@@ -32,6 +37,7 @@ __all__ = [
     "simulate_batch",
     "MAX_STACKED_EDGES",
     "NOT_DECODED",
+    "ReceivedBatch",
     "DecoderPrototype",
     "BlockCountPrototype",
     "LDGMPrototype",

@@ -15,51 +15,61 @@ that completes decoding (:meth:`repro.core.simulator.Simulator.run`):
   packets of it have arrived, so ``n_necessary`` is a closed-form order
   statistic over the per-block arrival positions: no per-packet work at all.
 * **Repetition** -- same closed form with "block" replaced by "source id".
-* **LDGM family** -- decodability of a received *prefix* is monotone in the
-  prefix length (peeling over a superset recovers a superset), so
-  ``n_necessary`` is found by an O(log n) bisection; every probe batch-peels
-  the prefix from scratch over the precompiled CSR arrays, vectorised
-  across all runs probing in lockstep.
+* **LDGM family** -- the prototype precompiles the adjacency (CSR both
+  ways, a padded column table, packed count|sum peeling words) and detects
+  the bidiagonal staircase/triangle parity structure; the *decode loops*
+  run on a pluggable :mod:`repro.kernels` backend (vectorised numpy
+  reference, optional numba JIT) selected via ``kernel=`` /
+  ``REPRO_KERNEL``.
 * **Anything else** -- a fallback prototype replays the incremental decoder
   so the fast path is safe for codes registered by third parties.
 
-Prototypes are cached on the code instance: compiling is itself vectorised
-and cheap, but a work unit should pay for it once, not per run.
+Prototypes are cached on the code instance per kernel backend: compiling is
+itself vectorised and cheap, but a work unit should pay for it once, not
+per run.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Sequence, Tuple, Type
+from typing import Callable, Dict, Sequence, Tuple, Type, Union
 
 import numpy as np
 
 from repro.fec.base import FECCode
+from repro.kernels import (
+    COUNT_SHIFT,
+    NOT_DECODED,
+    KernelSpec,
+    ReceivedBatch,
+    get_backend,
+)
 
-#: ``n_necessary`` sentinel used in the integer result array of
-#: :meth:`DecoderPrototype.decode_batch` for runs that never decode.
-NOT_DECODED = -1
+#: What ``decode_batch`` accepts: per-run index arrays or a ready batch.
+ReceivedInput = Union[Sequence[np.ndarray], ReceivedBatch]
 
 
 class DecoderPrototype(abc.ABC):
     """Batch decoder for one FEC code instance."""
 
-    def __init__(self, code: FECCode):
+    def __init__(self, code: FECCode, kernel: KernelSpec = None):
         self.code = code
         self.k = code.k
         self.n = code.n
+        self.kernel = get_backend(kernel)
 
     @abc.abstractmethod
     def decode_batch(
-        self, received: Sequence[np.ndarray]
+        self, received: ReceivedInput
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Decode a batch of runs given each run's received index sequence.
 
         Parameters
         ----------
         received:
-            One 1-D ``int64`` array per run: the global packet indices the
-            receiver got, in arrival order (duplicates allowed).
+            One 1-D ``int64`` array per run -- the global packet indices the
+            receiver got, in arrival order (duplicates allowed) -- or an
+            already-flattened :class:`~repro.kernels.ReceivedBatch`.
 
         Returns
         -------
@@ -108,7 +118,7 @@ def _distinct_threshold_positions(
 
 
 def _first_occurrences(
-    received: Sequence[np.ndarray], key_of: Callable[[np.ndarray], np.ndarray], keys_per_run: int
+    batch: ReceivedBatch, key_of: Callable[[np.ndarray], np.ndarray], keys_per_run: int
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """First arrival of every distinct key, batched over runs.
 
@@ -116,20 +126,19 @@ def _first_occurrences(
     (the index itself for RSE, ``index % k`` for repetition).  Returns
     ``(run_of, key, position)`` arrays with one entry per distinct
     ``(run, key)`` pair, where ``position`` is the 0-based arrival position
-    within the run.
+    within the run.  Works directly on the batch's flat array -- flattened
+    once per work unit, never re-concatenated here.
     """
-    lengths = np.fromiter((r.size for r in received), dtype=np.int64, count=len(received))
-    offsets = np.zeros(len(received), dtype=np.int64)
-    np.cumsum(lengths[:-1], out=offsets[1:])
-    if lengths.sum() == 0:
+    if batch.flat.size == 0:
         empty = np.zeros(0, dtype=np.int64)
         return empty, empty, empty
-    flat = np.concatenate([np.asarray(r, dtype=np.int64) for r in received])
-    run_ids = np.repeat(np.arange(len(received), dtype=np.int64), lengths)
-    keys = key_of(flat)
+    run_ids = np.repeat(
+        np.arange(batch.num_runs, dtype=np.int64), batch.lengths
+    )
+    keys = key_of(batch.flat)
     _uniq, first = np.unique(run_ids * np.int64(keys_per_run) + keys, return_index=True)
     run_of = run_ids[first]
-    return run_of, keys[first], first - offsets[run_of]
+    return run_of, keys[first], first - batch.offsets[run_of]
 
 
 class BlockCountPrototype(DecoderPrototype):
@@ -147,8 +156,9 @@ class BlockCountPrototype(DecoderPrototype):
         needed: np.ndarray,
         key_of: Callable[[np.ndarray], np.ndarray],
         keys_per_run: int,
+        kernel: KernelSpec = None,
     ):
-        super().__init__(code)
+        super().__init__(code, kernel)
         self._group_of_key = group_of_key
         self._needed = needed
         self._key_of = key_of
@@ -156,12 +166,13 @@ class BlockCountPrototype(DecoderPrototype):
         self._num_groups = int(needed.size)
 
     def decode_batch(
-        self, received: Sequence[np.ndarray]
+        self, received: ReceivedInput
     ) -> Tuple[np.ndarray, np.ndarray]:
-        num_runs = len(received)
+        batch = ReceivedBatch.coerce(received)
+        num_runs = batch.num_runs
         B = self._num_groups
         run_of, keys, positions = _first_occurrences(
-            received, self._key_of, self._keys_per_run
+            batch, self._key_of, self._keys_per_run
         )
         groups = run_of * np.int64(B) + self._group_of_key[keys]
         reached, threshold = _distinct_threshold_positions(
@@ -178,7 +189,7 @@ class BlockCountPrototype(DecoderPrototype):
         return decoded, n_necessary
 
 
-def compile_rse_prototype(code: FECCode) -> BlockCountPrototype:
+def compile_rse_prototype(code: FECCode, kernel: KernelSpec = None) -> BlockCountPrototype:
     """RSE: a block decodes once ``k_b`` distinct packets of it arrived."""
     layout = code.layout
     block_of = np.empty(layout.n, dtype=np.int64)
@@ -193,10 +204,13 @@ def compile_rse_prototype(code: FECCode) -> BlockCountPrototype:
         needed=needed,
         key_of=lambda indices: indices,
         keys_per_run=layout.n,
+        kernel=kernel,
     )
 
 
-def compile_repetition_prototype(code: FECCode) -> BlockCountPrototype:
+def compile_repetition_prototype(
+    code: FECCode, kernel: KernelSpec = None
+) -> BlockCountPrototype:
     """Repetition: decoding completes once all ``k`` sources were seen."""
     k = code.k
     return BlockCountPrototype(
@@ -205,304 +219,206 @@ def compile_repetition_prototype(code: FECCode) -> BlockCountPrototype:
         needed=np.array([k], dtype=np.int64),
         key_of=lambda indices: indices % np.int64(k),
         keys_per_run=k,
+        kernel=kernel,
     )
 
 
 # ---------------------------------------------------------------------------
-# LDGM: batched peeling + lockstep bisection.
+# LDGM: precompiled peeling arrays, decoded by the selected kernel backend.
 # ---------------------------------------------------------------------------
 
 
-#: Reused empty frontier.
-_EMPTY = np.zeros(0, dtype=np.int64)
-
-#: Bit position splitting a packed row word into (unknown count, id sum).
-_COUNT_SHIFT = 40
-_SUM_MASK = (1 << _COUNT_SHIFT) - 1
-
-#: Initial word of the per-run sentinel row that absorbs the padded
-#: adjacency's ghost updates: an unknown count of 2**22, far above anything
-#: a real row can hold and out of reach of the ghost decrements one
-#: ``_advance`` call can apply (enforced by ``_GHOST_HEADROOM``).
-_SENTINEL_WORD = np.int64(1) << (_COUNT_SHIFT + 22)
-
-#: A single _advance can recover at most ``n`` nodes per run, each hitting
-#: the sentinel at most ``max_degree`` times; requiring the product to stay
-#: below this bound keeps the sentinel's count field above 2**21.
-_GHOST_HEADROOM = 1 << 21
-
-
-class _PeelState:
-    """Stacked peeling state of a batch of runs (one block per run).
-
-    Per-row state is one ``int64`` word: ``unknown_count << 40 | id_sum``,
-    where ``id_sum`` is the *sum* of the row's still-unknown column ids.
-    Like the incremental decoder's XOR accumulator, the sum of a single
-    remaining element identifies it -- but a sum also updates by plain
-    subtraction, so removing a known node from a row is a single fused
-    ``packed -= (1 << 40) + node`` and cannot borrow across the fields
-    (the id sum of the remaining unknowns never goes negative).
-    """
-
-    __slots__ = ("packed", "known", "source_counts")
-
-    def __init__(self, packed: np.ndarray, known: np.ndarray, source_counts: np.ndarray):
-        self.packed = packed
-        self.known = known
-        self.source_counts = source_counts
-
-    def copy(self) -> "_PeelState":
-        return _PeelState(
-            self.packed.copy(), self.known.copy(), self.source_counts.copy()
-        )
-
-    def adopt(
-        self, other: "_PeelState", runs: np.ndarray, num_checks: int, n: int
-    ) -> None:
-        """Overwrite the state blocks of ``runs`` with ``other``'s."""
-        self.packed.reshape(-1, num_checks)[runs] = other.packed.reshape(
-            -1, num_checks
-        )[runs]
-        self.known.reshape(-1, n)[runs] = other.known.reshape(-1, n)[runs]
-        self.source_counts[runs] = other.source_counts[runs]
-
-
 class LDGMPrototype(DecoderPrototype):
-    """Batched peeling decoder over precompiled CSR arrays.
+    """Precompiled peeling-decoder state over the code's CSR arrays.
 
-    Decoding a batch is a lockstep bisection for the smallest decodable
-    received prefix of every run (decodability is monotone in the prefix:
-    peeling a superset recovers a superset).  The peeling state at the
-    bisection's ``lo`` prefix -- always undecodable -- is kept as a
-    *checkpoint*: a probe copies it, applies only the ``lo..mid`` delta
-    packets and cascades, vectorised across every probing run at once; a
-    failed probe's state becomes the next checkpoint.  The deltas halve
-    every iteration, so the total work is ``O(received + recovered)`` array
-    updates per run -- the ``O(log n)`` probes re-peel only their deltas,
-    never the whole prefix -- instead of ``n`` Python-level packet
-    insertions through the incremental decoder.
+    The prototype owns everything shape-dependent -- row/column CSR
+    adjacency, the padded column table, the packed ``count << 40 | id_sum``
+    row words, the bidiagonal-chain detection -- and delegates the decode
+    loops to its :class:`~repro.kernels.KernelBackend`:
+
+    * the ``numpy`` backend runs a lockstep gallop+bisect search for the
+      smallest decodable prefix of every run, batch-peeling only delta
+      packets from checkpointed state, with a chain-aware cascade that
+      resolves whole staircase reveal chains in one scan;
+    * the ``numba``/``python`` backends replay the incremental peel run by
+      run (the compiled form needs no batching to be fast).
+
+    All backends return bit-identical ``(decoded, n_necessary)`` arrays.
     """
 
-    def __init__(self, code: FECCode):
-        super().__init__(code)
+    def __init__(self, code: FECCode, kernel: KernelSpec = None):
+        super().__init__(code, kernel)
         matrix = code.matrix
         self.num_checks = matrix.num_checks
         self.row_ptr, self.row_cols = matrix.row_csr()
         self.row_degrees = matrix.row_degrees()
         self.col_indptr, self.col_rows = matrix.column_adjacency()
         self.num_edges = int(self.row_cols.size)
-        if self.row_cols.size and int(self.row_cols.max()) * int(
-            self.row_degrees.max()
-        ) >= 1 << _COUNT_SHIFT:
-            raise ValueError(
-                "code too large for the packed peeling state "
-                f"(id sums must stay below 2**{_COUNT_SHIFT})"
-            )
         row_sums = (
             np.add.reduceat(self.row_cols, self.row_ptr[:-1])
             if self.row_cols.size
             else np.zeros(self.num_checks, dtype=np.int64)
         )
         row_sums[self.row_degrees == 0] = 0
-        self.row_packed = (self.row_degrees << _COUNT_SHIFT) + row_sums
-        # Padded column adjacency: node degrees are tiny and near-uniform
-        # (left_degree for sources, 2-3 for parities), so a dense
-        # (n, max_degree) table turns the per-round CSR slice gather into
-        # one fancy-indexing operation.  Ghost slots of low-degree nodes
-        # point at a per-run *sentinel row* (local index num_checks) whose
-        # unknown count starts astronomically high: updates land there
-        # harmlessly instead of being filtered with boolean masks.
-        degrees = np.diff(self.col_indptr)
-        max_degree = int(degrees.max()) if degrees.size else 0
-        if self.n * max(max_degree, 1) >= _GHOST_HEADROOM:
-            raise ValueError(
-                "code too large for the sentinel-padded peeling state "
-                f"(n * max_degree must stay below {_GHOST_HEADROOM})"
-            )
-        self.col_rows_padded = np.full(
-            (self.n, max(max_degree, 1)), self.num_checks, dtype=np.int64
-        )
-        if self.col_rows.size:
-            node_ids = np.repeat(np.arange(self.n, dtype=np.int64), degrees)
-            slot = np.arange(self.col_rows.size, dtype=np.int64) - np.repeat(
-                self.col_indptr[:-1], degrees
-            )
-            self.col_rows_padded[node_ids, slot] = self.col_rows
+        self.row_sums = row_sums
+        #: Per-node degree, for the cascade's exact CSR edge expansion.
+        self.col_degrees = np.diff(self.col_indptr)
+        self.row_packed = None
+        self.col_rows_padded = None
+        self.chain_expected = None
+        self.parity_extra_indptr = None
+        self.parity_extra_rows = None
+        self.parity_extra_degrees = None
+        if self.kernel.stacks_batches:
+            # Only the numpy lockstep cascade works on packed count|sum
+            # words; the per-run loop backends keep counts and sums in
+            # separate int64 arrays and have no size bound, so the packed
+            # constraint must not force them onto the incremental fallback.
+            if self.row_cols.size and int(self.row_cols.max()) * int(
+                self.row_degrees.max()
+            ) >= 1 << COUNT_SHIFT:
+                raise ValueError(
+                    "code too large for the packed peeling state "
+                    f"(id sums must stay below 2**{COUNT_SHIFT})"
+                )
+            self.row_packed = (self.row_degrees << COUNT_SHIFT) + row_sums
+            #: Degenerate matrices can carry rows whose INITIAL unknown
+            #: count is already 1; the incremental decoder never peels
+            #: from them (rows are only examined on decrement), so the
+            #: cascade's full-state trigger scan must ignore them until
+            #: they are actually touched.
+            self.has_unit_rows = bool((self.row_degrees == 1).any())
+            self.col_rows_padded = self._build_padded_adjacency()
+            self.chain_expected = self._detect_chain()
+            if self.chain_expected is not None:
+                self.parity_extra_indptr, self.parity_extra_rows = (
+                    self._build_parity_extras()
+                )
+                self.parity_extra_degrees = np.diff(self.parity_extra_indptr)
 
-    def _fresh_state(self, num_runs: int) -> _PeelState:
-        """Stacked no-packets-yet state: the prototype replicated per run.
+    @property
+    def chain_aware(self) -> bool:
+        """Whether the bidiagonal parity chain was detected (and exploited)."""
+        return self.chain_expected is not None
 
-        Every run's block carries ``num_checks`` real rows plus the sentinel
-        row that absorbs the padded adjacency's ghost updates.  Its initial
-        unknown count (2**22) dwarfs any realistic number of ghost hits, so
-        it can never reach one and trigger a reveal; nor can the subtracted
-        id sums borrow into a range that would (the total subtracted stays
-        far below the initial word).
+    #: Build the dense padded column table only while its ghost slots stay
+    #: a modest fraction of the real edges; beyond that (triangle parities
+    #: can sit in many below-diagonal rows) the exact CSR expansion wins.
+    _PADDING_WASTE_LIMIT = 1.35
+
+    def _build_padded_adjacency(self):
+        """Dense ``(n, max_degree)`` column table, or None when wasteful.
+
+        Node degrees of the staircase are tiny and near-uniform
+        (``left_degree`` for sources, <= 2 for parities), so a dense table
+        turns the cascade's per-round CSR expansion into one fancy-indexing
+        gather.  Ghost slots of low-degree nodes point at the per-run
+        *sentinel row* (local index ``num_checks``), whose unknown count
+        starts astronomically high: updates land there harmlessly.  Skipped
+        when padding would inflate the edge traffic past
+        :attr:`_PADDING_WASTE_LIMIT` (the numpy cascade then expands exact
+        CSR edge lists instead) or when the code is so large that a
+        cascade's ghost hits could dent the sentinel's count headroom.
         """
-        per_run = np.concatenate([self.row_packed, [_SENTINEL_WORD]])
-        return _PeelState(
-            np.tile(per_run, num_runs),
-            np.zeros(num_runs * self.n, dtype=bool),
-            np.zeros(num_runs, dtype=np.int64),
+        degrees = self.col_degrees
+        max_degree = int(degrees.max()) if degrees.size else 0
+        if max_degree == 0:
+            return None
+        if self.n * max_degree > self._PADDING_WASTE_LIMIT * self.num_edges:
+            return None
+        if self.n * max_degree >= 1 << 21:
+            # Keep the sentinel's 2**22 initial count far above the ghost
+            # decrements one cascade can apply.
+            return None
+        padded = np.full((self.n, max_degree), self.num_checks, dtype=np.int64)
+        node_ids = np.repeat(np.arange(self.n, dtype=np.int64), degrees)
+        slot = np.arange(self.col_rows.size, dtype=np.int64) - np.repeat(
+            self.col_indptr[:-1], degrees
         )
+        padded[node_ids, slot] = self.col_rows
+        return padded
+
+    def _detect_chain(self):
+        """Detect the staircase/triangle bidiagonal parity structure.
+
+        From the row CSR only: every check row ``j`` must contain its own
+        parity column ``k + j`` and (for ``j >= 1``) the previous one
+        ``k + j - 1``, and no column above ``k + j``.  Under those
+        constraints the packed word ``2 << COUNT_SHIFT | (2k + 2j - 1)`` is
+        achieved *only* by the unknown pair ``{k+j-1, k+j}`` -- any other
+        2-subset of the row's columns sums strictly lower (two sources stay
+        below ``2k - 2``; an extra below-diagonal parity plus either
+        staircase parity misses the sum by at least one) -- which is what
+        makes the O(1) chain-eligibility test of the numpy cascade sound.
+
+        Returns the per-row expected words (with impossible ``-1`` entries
+        for row 0 and the sentinel slot), or ``None`` when the structure
+        does not hold (plain LDGM, third-party matrices).
+        """
+        num_checks = self.num_checks
+        k = self.k
+        if num_checks < 2 or self.row_cols.size == 0:
+            return None
+        row_ids = np.repeat(
+            np.arange(num_checks, dtype=np.int64), self.row_degrees
+        )
+        cols = self.row_cols
+        own = np.zeros(num_checks, dtype=bool)
+        own[row_ids[cols == row_ids + k]] = True
+        previous = np.zeros(num_checks, dtype=bool)
+        previous[row_ids[cols == row_ids + k - 1]] = True
+        if not (own.all() and previous[1:].all()):
+            return None
+        if (cols > row_ids + k).any():
+            return None
+        expected = (np.int64(2) << COUNT_SHIFT) + (
+            2 * k - 1 + 2 * np.arange(num_checks, dtype=np.int64)
+        )
+        expected[0] = -1  # row 0 has no previous parity; never chain-eligible
+        return np.concatenate([expected, np.array([-1], dtype=np.int64)])
+
+    def _build_parity_extras(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR of each parity's check rows *beyond* its bidiagonal pair.
+
+        A resolved chain stretch is applied to the peeling state directly:
+        every bidiagonal edge of a stretch parity lands inside the stretch
+        (rows zero out) or on one of its two boundary rows.  What remains
+        are the extra below-diagonal entries of the triangle -- parity
+        ``t`` may also sit in rows ``r >= t + 2`` -- which the cascade
+        routes through this CSR.  (An extra edge can never point into
+        another stretch: a chain-eligible row's extra parity is already
+        known.)  Empty for the pure staircase.
+        """
+        num_checks, k = self.num_checks, self.k
+        start = self.col_indptr[k]
+        flat_rows = self.col_rows[start:]
+        parity_of_edge = np.repeat(
+            np.arange(num_checks, dtype=np.int64), self.col_degrees[k:]
+        )
+        extra = (flat_rows != parity_of_edge) & (
+            flat_rows != parity_of_edge + 1
+        )
+        extra_rows = flat_rows[extra]
+        counts = np.bincount(parity_of_edge[extra], minlength=num_checks)
+        indptr = np.zeros(num_checks + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, extra_rows
 
     def decode_batch(
-        self, received: Sequence[np.ndarray]
+        self, received: ReceivedInput
     ) -> Tuple[np.ndarray, np.ndarray]:
-        received = [np.asarray(r, dtype=np.int64) for r in received]
-        num_runs = len(received)
-        lengths = np.fromiter((r.size for r in received), dtype=np.int64, count=num_runs)
-        decoded = np.zeros(num_runs, dtype=bool)
-        n_necessary = np.full(num_runs, NOT_DECODED, dtype=np.int64)
-
-        # Fewer than k packets can never decode (each packet contributes one
-        # equation; recovering k independent sources needs at least k), so
-        # the checkpoint starts at prefix k - 1 and runs shorter than k are
-        # failures outright.
-        candidates = np.nonzero(lengths >= self.k)[0]
-        if candidates.size == 0:
-            return decoded, n_necessary
-
-        # Unified gallop-then-bisect search, lockstep across runs, with a
-        # checkpoint at every run's lo prefix (always undecodable).  The
-        # typical decode point sits a few percent above k, so doubling
-        # steps from k touch far fewer packets than a wide bisection --
-        # and a failed probe *becomes* the checkpoint, so its packet
-        # applications and cascades are never repeated.  ``hi = -1`` marks
-        # runs still galloping (no decodable prefix seen yet).
-        cand_lengths = lengths[candidates]
-        num = candidates.size
-        # All received sequences as one flat array of stacked node ids, so
-        # a probe's delta packets are a single vectorised gather.
-        seq_offsets = np.zeros(num, dtype=np.int64)
-        np.cumsum(cand_lengths[:-1], out=seq_offsets[1:])
-        seq_flat = np.concatenate([received[r] for r in candidates])
-        seq_flat += np.repeat(np.arange(num, dtype=np.int64) * self.n, cand_lengths)
-
-        lo = np.full(num, self.k - 1, dtype=np.int64)
-        hi = np.full(num, -1, dtype=np.int64)
-        step = np.full(num, max(8, self.k >> 5), dtype=np.int64)
-        checkpoint = self._fresh_state(num)
-        everyone = np.arange(num, dtype=np.int64)
-        self._advance(
-            checkpoint, seq_flat, seq_offsets, everyone, np.zeros(num, dtype=np.int64), lo
-        )
-        while True:
-            galloping = hi < 0
-            active = np.nonzero(
-                (galloping & (lo < cand_lengths)) | (~galloping & (hi - lo > 1))
-            )[0]
-            if active.size == 0:
-                break
-            target = np.where(
-                galloping[active],
-                np.minimum(lo[active] + step[active], cand_lengths[active]),
-                (lo[active] + hi[active]) // 2,
-            )
-            probe = checkpoint.copy()
-            self._advance(probe, seq_flat, seq_offsets, active, lo[active], target)
-            ok = probe.source_counts[active] >= self.k
-            hi[active[ok]] = target[ok]
-            failed = active[~ok]
-            lo[failed] = target[~ok]
-            step[failed] <<= 1
-            # A failed probe is the peeling state at its target prefix:
-            # adopt it as the checkpoint instead of ever re-peeling.
-            checkpoint.adopt(probe, failed, self.num_checks + 1, self.n)
-        found = hi >= 0
-        decoded[candidates[found]] = True
-        n_necessary[candidates[found]] = hi[found]
-        return decoded, n_necessary
-
-    def _advance(
-        self,
-        state: _PeelState,
-        seq_flat: np.ndarray,
-        seq_offsets: np.ndarray,
-        runs: np.ndarray,
-        start: np.ndarray,
-        stop: np.ndarray,
-    ) -> None:
-        """Apply packets ``start[i]..stop[i]`` of each run in ``runs``.
-
-        Equivalent to feeding the packets one at a time to the incremental
-        decoder: receptions and the nodes they reveal propagate in
-        vectorised rounds until the cascade dies out or a run recovers all
-        ``k`` sources (completed runs stop cascading, like the incremental
-        decoder's early return).
-        """
-        N, k = self.n, self.k
-        known = state.known
-        deltas = stop - start
-        total = int(deltas.sum())
-        if total == 0:
-            return
-        ends = np.cumsum(deltas)
-        positions = np.arange(total, dtype=np.int64) + np.repeat(
-            seq_offsets[runs] + start - (ends - deltas), deltas
-        )
-        packets = seq_flat[positions]
-        # Packets already known -- duplicates in the schedule or nodes the
-        # cascade recovered before they arrived -- are no-ops, exactly as in
-        # the incremental decoder.
-        frontier = _dedup(packets[~known[packets]])
-        frontier = frontier[state.source_counts[frontier // N] < k]
-
-        packed = state.packed
-        row_stride = self.num_checks + 1
-        # Fresh sentinel words: their headroom bounds ghost hits per
-        # _advance call, not per decode.
-        packed[self.num_checks :: row_stride] = _SENTINEL_WORD
-        while frontier.size:
-            known[frontier] = True
-            run_of, local = np.divmod(frontier, N)
-            newly_sources = local < k
-            if newly_sources.any():
-                state.source_counts += np.bincount(
-                    run_of[newly_sources], minlength=state.source_counts.size
-                )
-            rows = self.col_rows_padded[local] + (run_of * row_stride)[:, None]
-            # One fused update per (row, node) edge: decrement the unknown
-            # count (high bits) and remove the node from the id sum (low
-            # bits) of every touched row; ghost slots hit the sentinels.
-            np.subtract.at(
-                packed, rows, local[:, None] + (np.int64(1) << _COUNT_SHIFT)
-            )
-            # A row may appear several times in ``rows``; if it ends the
-            # round at one unknown it yields the same candidate node each
-            # time, which the dedup below collapses.
-            words = packed[rows]
-            trigger = (words >> _COUNT_SHIFT) == 1
-            if not trigger.any():
-                frontier = _EMPTY
-                continue
-            # A row at one unknown reveals it: the id sum *is* the node.
-            # Runs that already recovered every source stop cascading (the
-            # incremental decoder returns early the same way -- completion
-            # cannot be undone, so the extra peeling could only waste time).
-            trigger_runs = rows[trigger] // row_stride
-            nodes = (words[trigger] & _SUM_MASK) + trigger_runs * np.int64(N)
-            nodes = nodes[(~known[nodes]) & (state.source_counts[trigger_runs] < k)]
-            frontier = _dedup(nodes)
+        return self.kernel.ldgm_decode_batch(self, ReceivedBatch.coerce(received))
 
 
-def _dedup(nodes: np.ndarray) -> np.ndarray:
-    """Sorted unique values; sort-based because the arrays are small and
-    ``np.unique``'s hash path costs ~100us of fixed overhead per call."""
-    if nodes.size <= 1:
-        return nodes
-    nodes = np.sort(nodes)
-    return nodes[np.concatenate(([True], nodes[1:] != nodes[:-1]))]
-
-
-def compile_ldgm_prototype(code: FECCode) -> DecoderPrototype:
+def compile_ldgm_prototype(code: FECCode, kernel: KernelSpec = None) -> DecoderPrototype:
     try:
-        return LDGMPrototype(code)
+        return LDGMPrototype(code, kernel)
     except ValueError:
-        # Codes beyond the packed/sentinel bounds (n in the millions) fall
-        # back to the incremental replay; they are far outside the paper's
-        # parameter range and would be memory-bound here anyway.
-        return IncrementalPrototype(code)
+        # Only the numpy lockstep backend has the packed-word size bound
+        # (hit around n in the millions, far outside the paper's range);
+        # it falls back to the incremental replay there, while the
+        # per-run loop backends never raise and keep their fast peel.
+        return IncrementalPrototype(code, kernel)
 
 
 class IncrementalPrototype(DecoderPrototype):
@@ -514,11 +430,12 @@ class IncrementalPrototype(DecoderPrototype):
     """
 
     def decode_batch(
-        self, received: Sequence[np.ndarray]
+        self, received: ReceivedInput
     ) -> Tuple[np.ndarray, np.ndarray]:
-        decoded = np.zeros(len(received), dtype=bool)
-        n_necessary = np.full(len(received), NOT_DECODED, dtype=np.int64)
-        for run, indices in enumerate(received):
+        batch = ReceivedBatch.coerce(received)
+        decoded = np.zeros(batch.num_runs, dtype=bool)
+        n_necessary = np.full(batch.num_runs, NOT_DECODED, dtype=np.int64)
+        for run, indices in enumerate(batch.sequences()):
             decoder = self.code.new_symbolic_decoder()
             for count, index in enumerate(indices, start=1):
                 if decoder.add_packet(index):
@@ -532,18 +449,23 @@ class IncrementalPrototype(DecoderPrototype):
 # Registry: code class -> prototype compiler.
 # ---------------------------------------------------------------------------
 
-PrototypeCompiler = Callable[[FECCode], DecoderPrototype]
+PrototypeCompiler = Callable[[FECCode, KernelSpec], DecoderPrototype]
 
 _COMPILERS: Dict[Type[FECCode], PrototypeCompiler] = {}
 
-#: Attribute under which the compiled prototype is cached on code instances.
-_CACHE_ATTR = "_fastpath_prototype"
+#: Attribute under which compiled prototypes are cached on code instances
+#: (one per kernel backend name).
+_CACHE_ATTR = "_fastpath_prototypes"
 
 
 def register_prototype_compiler(
     code_cls: Type[FECCode], compiler: PrototypeCompiler
 ) -> None:
-    """Register a prototype compiler for a code class (and its subclasses)."""
+    """Register a prototype compiler for a code class (and its subclasses).
+
+    ``compiler`` is called as ``compiler(code, kernel)`` where ``kernel``
+    is the resolved-or-None kernel spec the caller selected.
+    """
     _COMPILERS[code_cls] = compiler
 
 
@@ -561,24 +483,34 @@ def _register_builtin_compilers() -> None:
 _register_builtin_compilers()
 
 
-def compile_prototype(code: FECCode) -> DecoderPrototype:
-    """Return the (cached) batch-decoder prototype for a code instance."""
-    cached = getattr(code, _CACHE_ATTR, None)
-    if cached is not None and cached.code is code:
-        return cached
+def compile_prototype(code: FECCode, kernel: KernelSpec = None) -> DecoderPrototype:
+    """Return the (cached) batch-decoder prototype for a code instance.
+
+    Prototypes are cached per kernel backend, so switching ``kernel=`` (or
+    ``REPRO_KERNEL``) between calls compiles at most once per backend.
+    """
+    backend = get_backend(kernel)
+    cache = getattr(code, _CACHE_ATTR, None)
+    if cache is None or cache.get("code") is not code:
+        cache = {"code": code, "prototypes": {}}
+        setattr(code, _CACHE_ATTR, cache)
+    prototype = cache["prototypes"].get(backend.name)
+    if prototype is not None:
+        return prototype
     compiler: PrototypeCompiler = IncrementalPrototype
     for cls in type(code).__mro__:
         registered = _COMPILERS.get(cls)
         if registered is not None:
             compiler = registered
             break
-    prototype = compiler(code)
-    setattr(code, _CACHE_ATTR, prototype)
+    prototype = compiler(code, backend)
+    cache["prototypes"][backend.name] = prototype
     return prototype
 
 
 __all__ = [
     "NOT_DECODED",
+    "ReceivedBatch",
     "DecoderPrototype",
     "BlockCountPrototype",
     "LDGMPrototype",

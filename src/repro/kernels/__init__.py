@@ -1,0 +1,65 @@
+"""Pluggable kernel backends for the decode hot loops.
+
+The fast path's remaining wall-clock cost is concentrated in three loops:
+the LDGM batch-peel cascade, the gallop+bisect prefix search it serves,
+and the Gilbert sojourn fill.  This package puts them behind a swappable
+:class:`~repro.kernels.base.KernelBackend`:
+
+* ``numpy`` -- the always-available vectorised reference, with a
+  chain-aware cascade for the bidiagonal (staircase/triangle) parity
+  structures.
+* ``numba`` -- the loop kernels of :mod:`repro.kernels.loops` JIT-compiled
+  to machine code; auto-selected when numba is importable, never required.
+* ``cext`` -- the same kernels in C, compiled on demand with the system
+  compiler (``cc -O2``) and loaded via ctypes; auto-selected when numba
+  is absent but a compiler is present.
+* ``python`` -- the loop kernels uncompiled, so the compiled code paths
+  stay testable without numba or a C toolchain.
+
+Selection: ``kernel=`` kwargs threaded through ``compile_prototype``,
+``Simulator.run_many``, the runner work units and ``python -m repro run
+--kernel``; the ``REPRO_KERNEL`` environment variable; or ``auto`` (the
+default).  Every backend is bit-identical to the incremental reference
+decoder -- the equivalence suite enforces it -- so the choice is purely a
+wall-clock knob.
+"""
+
+from repro.kernels.base import (
+    COUNT_SHIFT,
+    NOT_DECODED,
+    SENTINEL_WORD,
+    SUM_MASK,
+    KernelBackend,
+    ReceivedBatch,
+)
+from repro.kernels.registry import (
+    AUTO_ORDER,
+    ENV_VAR,
+    KernelSpec,
+    KernelUnavailableError,
+    available_backends,
+    cext_compiler_available,
+    default_backend_name,
+    get_backend,
+    numba_available,
+    register_backend,
+)
+
+__all__ = [
+    "KernelBackend",
+    "ReceivedBatch",
+    "NOT_DECODED",
+    "COUNT_SHIFT",
+    "SUM_MASK",
+    "SENTINEL_WORD",
+    "ENV_VAR",
+    "KernelSpec",
+    "KernelUnavailableError",
+    "register_backend",
+    "available_backends",
+    "default_backend_name",
+    "numba_available",
+    "cext_compiler_available",
+    "AUTO_ORDER",
+    "get_backend",
+]

@@ -1,0 +1,258 @@
+"""On-demand C extension backend: the loop kernels compiled with the
+system C compiler.
+
+The same two kernels as :mod:`repro.kernels.loops`, written in C,
+compiled once per machine with ``cc -O2 -shared -fPIC`` into a cache
+directory keyed by the source hash, and loaded through :mod:`ctypes` --
+no build-time dependency, no pip package, and fully optional: when no C
+compiler is available (or the compile fails, e.g. in a sandbox without a
+writable cache), importing this module raises ``ImportError`` and the
+registry treats the backend as unavailable, with ``auto`` falling back
+to the numpy reference.
+
+Like the numba backend, this is a pure wall-clock knob: the C loops
+mirror :mod:`repro.kernels.loops` statement for statement, and the
+cross-backend equivalence suite pins them to the incremental decoder.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from repro.kernels.base import NOT_DECODED, KernelBackend, ReceivedBatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fastpath.prototypes import LDGMPrototype
+
+#: C translation of :func:`repro.kernels.loops.ldgm_peel_batch` and
+#: :func:`repro.kernels.loops.fill_sojourns`.  Keep the two in lockstep:
+#: the cross-backend tests enforce bit-identical behaviour, and the
+#: Python loops are the readable specification of these kernels.
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+void ldgm_peel_batch(
+    const int64_t *col_indptr, const int64_t *col_rows,
+    const int64_t *init_counts, const int64_t *init_sums,
+    const int64_t *flat, const int64_t *offsets, const int64_t *lengths,
+    int64_t num_runs, int64_t k, int64_t n, int64_t num_checks,
+    int64_t *counts, int64_t *sums, uint8_t *known, int64_t *stack,
+    uint8_t *decoded, int64_t *n_necessary)
+{
+    for (int64_t run = 0; run < num_runs; run++) {
+        memcpy(counts, init_counts, (size_t)num_checks * sizeof(int64_t));
+        memcpy(sums, init_sums, (size_t)num_checks * sizeof(int64_t));
+        memset(known, 0, (size_t)n);
+        int64_t sources = 0;
+        int64_t start = offsets[run];
+        int64_t end = start + lengths[run];
+        int complete = 0;
+        for (int64_t pos = start; pos < end && !complete; pos++) {
+            int64_t node = flat[pos];
+            if (known[node])
+                continue; /* duplicate or already recovered: a no-op */
+            int64_t top = 0;
+            stack[0] = node;
+            while (top >= 0) {
+                int64_t v = stack[top--];
+                if (known[v])
+                    continue;
+                known[v] = 1;
+                if (v < k && ++sources == k) {
+                    /* all sources recovered: stop mid-cascade, like the
+                       incremental decoder's early return */
+                    n_necessary[run] = pos - start + 1;
+                    complete = 1;
+                    break;
+                }
+                for (int64_t e = col_indptr[v]; e < col_indptr[v + 1]; e++) {
+                    int64_t r = col_rows[e];
+                    counts[r] -= 1;
+                    sums[r] -= v;
+                    if (counts[r] == 1) {
+                        /* one unknown left: its id sum IS the node */
+                        int64_t u = sums[r];
+                        if (!known[u])
+                            stack[++top] = u;
+                    }
+                }
+            }
+        }
+        decoded[run] = (uint8_t)complete;
+    }
+}
+
+int64_t fill_sojourns(
+    uint8_t *mask, int64_t filled, int64_t count, int in_loss_state,
+    const int64_t *gap_runs, const int64_t *burst_runs, int64_t batch)
+{
+    int state = in_loss_state;
+    for (int64_t i = 0; i < batch; i++) {
+        int64_t length = state ? burst_runs[i] : gap_runs[i];
+        int64_t remaining = count - filled;
+        if (length > remaining)
+            length = remaining;
+        memset(mask + filled, state, (size_t)length);
+        filled += length;
+        state = !state;
+        if (filled >= count)
+            break;
+    }
+    return filled;
+}
+"""
+
+_I64 = ctypes.POINTER(ctypes.c_int64)
+_U8 = ctypes.POINTER(ctypes.c_uint8)
+
+
+def _cache_dir() -> Path:
+    base = os.environ.get("XDG_CACHE_HOME", "").strip() or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return Path(base) / "repro-kernels"
+
+
+def compiler() -> str | None:
+    """The C compiler used for the extension, or None when absent."""
+    return shutil.which(os.environ.get("CC", "").strip() or "cc")
+
+
+def _build_library() -> Path:
+    """Compile the kernels into the cache (once per source revision).
+
+    Every environment failure -- no compiler, compile error, unwritable
+    cache directory -- surfaces as ``ImportError`` so the registry treats
+    the backend as unavailable and ``auto`` degrades to numpy instead of
+    crashing the decode.
+    """
+    cc = compiler()
+    if cc is None:
+        raise ImportError("no C compiler (cc) on PATH for the cext backend")
+    digest = hashlib.sha256(_C_SOURCE.encode("utf-8")).hexdigest()[:16]
+    target = _cache_dir() / f"peel-{digest}.so"
+    try:
+        if target.exists():
+            return target
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with tempfile.TemporaryDirectory(dir=target.parent) as build_dir:
+            source = Path(build_dir) / "peel.c"
+            source.write_text(_C_SOURCE, encoding="utf-8")
+            artefact = Path(build_dir) / "peel.so"
+            result = subprocess.run(
+                [cc, "-O2", "-shared", "-fPIC", "-o", str(artefact), str(source)],
+                capture_output=True,
+                text=True,
+            )
+            if result.returncode != 0:
+                raise ImportError(
+                    f"C compile of the cext kernels failed: {result.stderr.strip()}"
+                )
+            # Atomic publish so concurrent processes never load a
+            # half-written library; losing the race is fine, the content
+            # is identical.
+            os.replace(artefact, target)
+    except OSError as exc:
+        raise ImportError(f"cext kernel build failed: {exc}") from exc
+    return target
+
+
+def _load_library() -> ctypes.CDLL:
+    try:
+        lib = ctypes.CDLL(str(_build_library()))
+    except OSError as exc:
+        raise ImportError(f"cext kernel library failed to load: {exc}") from exc
+    lib.ldgm_peel_batch.restype = None
+    lib.ldgm_peel_batch.argtypes = [
+        _I64, _I64, _I64, _I64, _I64, _I64, _I64,
+        ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+        _I64, _I64, _U8, _I64, _U8, _I64,
+    ]
+    lib.fill_sojourns.restype = ctypes.c_int64
+    lib.fill_sojourns.argtypes = [
+        _U8, ctypes.c_int64, ctypes.c_int64, ctypes.c_int,
+        _I64, _I64, ctypes.c_int64,
+    ]
+    return lib
+
+
+def _i64(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=np.int64)
+
+
+class CExtBackend(KernelBackend):
+    """Loop kernels compiled on demand with the system C compiler."""
+
+    name = "cext"
+
+    def __init__(self) -> None:
+        self._lib = _load_library()
+
+    def ldgm_decode_batch(
+        self, prototype: "LDGMPrototype", batch: ReceivedBatch
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        num_runs = batch.num_runs
+        decoded = np.zeros(num_runs, dtype=np.uint8)
+        n_necessary = np.full(num_runs, NOT_DECODED, dtype=np.int64)
+        if batch.flat.size:
+            num_checks = prototype.num_checks
+            counts = np.empty(num_checks, dtype=np.int64)
+            sums = np.empty(num_checks, dtype=np.int64)
+            known = np.empty(prototype.n, dtype=np.uint8)
+            stack = np.empty(num_checks + 2, dtype=np.int64)
+            flat = _i64(batch.flat)
+            offsets = _i64(batch.offsets)
+            lengths = _i64(batch.lengths)
+            self._lib.ldgm_peel_batch(
+                prototype.col_indptr.ctypes.data_as(_I64),
+                prototype.col_rows.ctypes.data_as(_I64),
+                prototype.row_degrees.ctypes.data_as(_I64),
+                prototype.row_sums.ctypes.data_as(_I64),
+                flat.ctypes.data_as(_I64),
+                offsets.ctypes.data_as(_I64),
+                lengths.ctypes.data_as(_I64),
+                num_runs,
+                prototype.k,
+                prototype.n,
+                num_checks,
+                counts.ctypes.data_as(_I64),
+                sums.ctypes.data_as(_I64),
+                known.ctypes.data_as(_U8),
+                stack.ctypes.data_as(_I64),
+                decoded.ctypes.data_as(_U8),
+                n_necessary.ctypes.data_as(_I64),
+            )
+        return decoded.astype(bool), n_necessary
+
+    def fill_sojourns(
+        self,
+        mask: np.ndarray,
+        filled: int,
+        in_loss_state: bool,
+        gap_runs: np.ndarray,
+        burst_runs: np.ndarray,
+    ) -> int:
+        return int(
+            self._lib.fill_sojourns(
+                mask.ctypes.data_as(_U8),
+                int(filled),
+                int(mask.shape[0]),
+                int(bool(in_loss_state)),
+                _i64(gap_runs).ctypes.data_as(_I64),
+                _i64(burst_runs).ctypes.data_as(_I64),
+                int(gap_runs.shape[0]),
+            )
+        )
+
+
+__all__ = ["CExtBackend", "compiler"]

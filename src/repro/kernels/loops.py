@@ -1,0 +1,125 @@
+"""Loop-style kernels shared by the ``python`` and ``numba`` backends.
+
+These functions are written in the restricted subset of Python/numpy that
+``numba.njit`` compiles in nopython mode: scalar loops over preallocated
+arrays, no Python objects, no fancy indexing.  The ``numba`` backend
+compiles them verbatim; the ``python`` backend runs them as-is, which keeps
+the exact code the JIT executes testable (and the equivalence suite
+meaningful) on machines without numba.
+
+Inside a compiled kernel the incremental peeling algorithm *is* the fast
+one: each run walks its received sequence once, cascading reveals through
+an explicit stack, so ``n_necessary`` falls out of the walk directly -- no
+prefix bisection, no lockstep batching, no per-round dispatch overhead.
+The bookkeeping mirrors the symbolic decoder exactly (per-row unknown
+count plus an id *sum* standing in for the XOR accumulator: the sum of a
+single remaining unknown identifies it), so results are bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ldgm_peel_batch(
+    col_indptr: np.ndarray,
+    col_rows: np.ndarray,
+    init_counts: np.ndarray,
+    init_sums: np.ndarray,
+    flat: np.ndarray,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    k: int,
+    n: int,
+    decoded: np.ndarray,
+    n_necessary: np.ndarray,
+) -> None:
+    """Incremental peeling decode of every run in a flattened batch.
+
+    Parameters mirror the prototype's precompiled arrays: ``col_indptr`` /
+    ``col_rows`` is the column-to-check-row CSR adjacency, ``init_counts``
+    / ``init_sums`` the no-packets-yet per-row state that every run copies.
+    ``decoded`` (bool) and ``n_necessary`` (int64, preset to -1) are filled
+    in place, one entry per run.
+    """
+    num_checks = init_counts.shape[0]
+    for run in range(lengths.shape[0]):
+        counts = init_counts.copy()
+        sums = init_sums.copy()
+        known = np.zeros(n, dtype=np.bool_)
+        # Each check row crosses "one unknown left" at most once over the
+        # whole run, so reveal pushes are bounded by num_checks (+1 for the
+        # packet that starts a cascade).
+        stack = np.empty(num_checks + 1, dtype=np.int64)
+        sources = 0
+        start = offsets[run]
+        end = start + lengths[run]
+        complete = False
+        for pos in range(start, end):
+            node = flat[pos]
+            if known[node]:
+                # Duplicate packet, or a node an earlier cascade already
+                # recovered: a no-op, exactly as in the incremental decoder.
+                continue
+            top = 0
+            stack[0] = node
+            while top >= 0:
+                v = stack[top]
+                top -= 1
+                if known[v]:
+                    continue
+                known[v] = True
+                if v < k:
+                    sources += 1
+                    if sources == k:
+                        # All sources recovered: stop mid-cascade, like the
+                        # incremental decoder's early return on completion.
+                        n_necessary[run] = pos - start + 1
+                        complete = True
+                        break
+                for edge in range(col_indptr[v], col_indptr[v + 1]):
+                    row = col_rows[edge]
+                    counts[row] -= 1
+                    sums[row] -= v
+                    if counts[row] == 1:
+                        # One unknown left: its id sum *is* the node.
+                        candidate = sums[row]
+                        if not known[candidate]:
+                            top += 1
+                            stack[top] = candidate
+            if complete:
+                break
+        decoded[run] = complete
+
+
+def fill_sojourns(
+    mask: np.ndarray,
+    filled: int,
+    in_loss_state: bool,
+    gap_runs: np.ndarray,
+    burst_runs: np.ndarray,
+) -> int:
+    """Expand one batch of Gilbert sojourn lengths into ``mask``.
+
+    The historical serial chain, minus the geometric draws (the caller
+    draws them so every backend consumes the generator identically):
+    sojourns alternate between the loss and no-loss state starting from
+    ``in_loss_state``, each capped at the space remaining.
+    """
+    count = mask.shape[0]
+    state = in_loss_state
+    for index in range(gap_runs.shape[0]):
+        length = burst_runs[index] if state else gap_runs[index]
+        remaining = count - filled
+        if length > remaining:
+            length = remaining
+        for position in range(filled, filled + length):
+            mask[position] = state
+        filled += length
+        state = not state
+        if filled >= count:
+            break
+    return filled
+
+
+__all__ = ["ldgm_peel_batch", "fill_sojourns"]

@@ -1,0 +1,38 @@
+"""Numba JIT backend: the loop kernels compiled to machine code.
+
+Importing this module requires numba; the registry treats the resulting
+``ImportError`` as "backend unavailable" and the ``auto`` selection falls
+back to the ``numpy`` backend, so the dependency stays strictly optional.
+
+The kernels themselves live in :mod:`repro.kernels.loops` and are shared
+verbatim with the ``python`` backend -- what the JIT executes is exactly
+the code the no-numba test legs verify.  ``cache=True`` persists the
+compiled artefacts next to ``loops.py`` so only the first process on a
+machine pays the compile time.
+"""
+
+from __future__ import annotations
+
+import numba
+
+from repro.kernels import loops
+from repro.kernels.python_backend import PythonBackend
+
+_jit = numba.njit(cache=True, nogil=True)
+
+
+class NumbaBackend(PythonBackend):
+    """JIT-compiled loop kernels (auto-selected when numba is importable)."""
+
+    name = "numba"
+
+    _peel = staticmethod(_jit(loops.ldgm_peel_batch))
+    _fill = staticmethod(_jit(loops.fill_sojourns))
+
+
+def numba_version() -> str:
+    """Version string of the numba the kernels were compiled with."""
+    return numba.__version__
+
+
+__all__ = ["NumbaBackend", "numba_version"]

@@ -1,0 +1,64 @@
+"""Plain-Python loop backend: the uncompiled twin of the numba backend.
+
+Runs the exact kernel functions of :mod:`repro.kernels.loops` without a
+JIT.  Far slower than the ``numpy`` backend (Python-level loops over every
+packet), it exists so the code the numba backend compiles stays testable
+-- and provably bit-identical -- on machines without numba; the
+cross-backend equivalence suite exercises it unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from repro.kernels import loops
+from repro.kernels.base import NOT_DECODED, KernelBackend, ReceivedBatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fastpath.prototypes import LDGMPrototype
+
+
+class PythonBackend(KernelBackend):
+    """Uncompiled loop kernels (testing / reference for ``numba``)."""
+
+    name = "python"
+
+    #: Kernel entry points; the numba backend swaps in their JIT twins.
+    _peel = staticmethod(loops.ldgm_peel_batch)
+    _fill = staticmethod(loops.fill_sojourns)
+
+    def ldgm_decode_batch(
+        self, prototype: "LDGMPrototype", batch: ReceivedBatch
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        decoded = np.zeros(batch.num_runs, dtype=bool)
+        n_necessary = np.full(batch.num_runs, NOT_DECODED, dtype=np.int64)
+        if batch.flat.size:
+            self._peel(
+                prototype.col_indptr,
+                prototype.col_rows,
+                prototype.row_degrees,
+                prototype.row_sums,
+                batch.flat,
+                batch.offsets,
+                batch.lengths,
+                prototype.k,
+                prototype.n,
+                decoded,
+                n_necessary,
+            )
+        return decoded, n_necessary
+
+    def fill_sojourns(
+        self,
+        mask: np.ndarray,
+        filled: int,
+        in_loss_state: bool,
+        gap_runs: np.ndarray,
+        burst_runs: np.ndarray,
+    ) -> int:
+        return int(self._fill(mask, filled, in_loss_state, gap_runs, burst_runs))
+
+
+__all__ = ["PythonBackend"]

@@ -1,0 +1,189 @@
+"""Kernel-backend registry and selection.
+
+Resolution order for :func:`get_backend`:
+
+1. an explicit ``kernel=`` argument (a name or a ready backend instance),
+2. the ``REPRO_KERNEL`` environment variable,
+3. ``auto``: the best compiled backend that works on this machine --
+   ``numba`` when importable, else ``cext`` when a C compiler is on the
+   PATH, else the ``numpy`` reference (:data:`AUTO_ORDER`).
+
+Backends are instantiated lazily and cached per name, so the numba import
+(and JIT warm-up / C compile) is only ever paid when the backend is
+actually selected.
+Asking explicitly for an unavailable backend raises
+:class:`KernelUnavailableError` with an actionable message instead of
+silently degrading -- silent degradation is reserved for ``auto``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.kernels.base import KernelBackend
+
+#: Environment variable consulted when no explicit kernel is given.
+ENV_VAR = "REPRO_KERNEL"
+
+#: ``kernel=`` arguments accepted everywhere: a registry name, a ready
+#: backend instance, or None (environment / auto resolution).
+KernelSpec = Union[str, KernelBackend, None]
+
+
+class KernelUnavailableError(RuntimeError):
+    """A known kernel backend cannot be constructed on this machine."""
+
+
+_FACTORIES: Dict[str, Callable[[], KernelBackend]] = {}
+_INSTANCES: Dict[str, KernelBackend] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], KernelBackend], *, replace: bool = False
+) -> None:
+    """Register a backend factory under ``name`` (lowercase).
+
+    Third-party backends registered here become selectable through
+    ``REPRO_KERNEL`` / ``--kernel`` / ``kernel=`` like the built-ins.
+    """
+    key = name.strip().lower()
+    if not replace and key in _FACTORIES:
+        raise ValueError(f"kernel backend {key!r} is already registered")
+    _FACTORIES[key] = factory
+    _INSTANCES.pop(key, None)
+
+
+def numba_available() -> bool:
+    """Whether the numba backend could be constructed (spec check only)."""
+    return importlib.util.find_spec("numba") is not None
+
+
+def cext_compiler_available() -> bool:
+    """Whether a C compiler for the cext backend is on the PATH."""
+    from repro.kernels.cext import compiler
+
+    return compiler() is not None
+
+
+#: ``auto`` preference order: compiled backends first, numpy always last
+#: (it can never fail to construct).
+AUTO_ORDER: Tuple[str, ...] = ("numba", "cext", "numpy")
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names selectable on this machine, in registration order.
+
+    Availability is probed cheaply (import spec / compiler on PATH); a
+    listed compiled backend can still fail to construct in degenerate
+    environments, which ``auto`` degrades through and an explicit request
+    reports as :class:`KernelUnavailableError`.
+    """
+    names = []
+    for name in _FACTORIES:
+        if name == "numba" and not numba_available():
+            continue
+        if name == "cext" and not cext_compiler_available():
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def default_backend_name() -> str:
+    """What ``auto`` resolves to on this machine."""
+    usable = available_backends()
+    for name in AUTO_ORDER:
+        if name in usable:
+            return name
+    return "numpy"
+
+
+def _construct(name: str) -> KernelBackend:
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; registered: "
+            f"{', '.join(sorted(_FACTORIES))}"
+        )
+    try:
+        instance = factory()
+    except ImportError as exc:
+        raise KernelUnavailableError(
+            f"kernel backend {name!r} is not available on this machine "
+            f"({exc}); install it or select kernel='auto' / 'numpy'"
+        ) from exc
+    _INSTANCES[name] = instance
+    return instance
+
+
+def get_backend(kernel: KernelSpec = None) -> KernelBackend:
+    """Resolve a kernel spec to a backend instance (cached per name)."""
+    if isinstance(kernel, KernelBackend):
+        return kernel
+    if kernel is None:
+        kernel = os.environ.get(ENV_VAR, "").strip() or "auto"
+    name = kernel.strip().lower()
+    if name != "auto":
+        return _construct(name)
+    # auto: best compiled backend that actually constructs, else numpy --
+    # never an error (explicit selection is where failures surface).
+    for candidate in AUTO_ORDER:
+        if candidate not in _FACTORIES:
+            continue
+        if candidate == "numba" and not numba_available():
+            continue
+        if candidate == "cext" and not cext_compiler_available():
+            continue
+        try:
+            return _construct(candidate)
+        except KernelUnavailableError:
+            continue
+    return _construct("numpy")
+
+
+def _numpy_factory() -> KernelBackend:
+    from repro.kernels.numpy_backend import NumpyBackend
+
+    return NumpyBackend()
+
+
+def _python_factory() -> KernelBackend:
+    from repro.kernels.python_backend import PythonBackend
+
+    return PythonBackend()
+
+
+def _numba_factory() -> KernelBackend:
+    from repro.kernels.numba_backend import NumbaBackend
+
+    return NumbaBackend()
+
+
+def _cext_factory() -> KernelBackend:
+    from repro.kernels.cext import CExtBackend
+
+    return CExtBackend()
+
+
+register_backend("numpy", _numpy_factory)
+register_backend("numba", _numba_factory)
+register_backend("cext", _cext_factory)
+register_backend("python", _python_factory)
+
+
+__all__ = [
+    "ENV_VAR",
+    "AUTO_ORDER",
+    "KernelSpec",
+    "KernelUnavailableError",
+    "register_backend",
+    "available_backends",
+    "default_backend_name",
+    "numba_available",
+    "cext_compiler_available",
+    "get_backend",
+]

@@ -9,8 +9,10 @@ Subcommands
     for process-pool parallelism, the on-disk result cache for resumable
     runs (``--no-cache`` to disable), the vectorised batch decoder
     (``--no-fastpath`` falls back to the incremental reference path --
-    results are bit-identical either way), and optional CSV /
-    appendix-style table output through the analysis layer.
+    results are bit-identical either way), ``--kernel`` to pin a
+    :mod:`repro.kernels` backend for the decode hot loops (numpy / numba
+    / cext / python; default ``auto``), and optional CSV / appendix-style
+    table output through the analysis layer.
 ``cache``
     Inspect (``cache info``) or empty (``cache clear``) the result cache.
 
@@ -41,6 +43,7 @@ from repro.core.experiments import (
     get_experiment,
     run_experiment,
 )
+from repro.kernels import KernelUnavailableError, get_backend
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 
 
@@ -110,6 +113,20 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--kernel",
+        default=None,
+        metavar="BACKEND",
+        help=(
+            "kernel backend for the decode hot loops: 'numpy' (reference), "
+            "'numba' (JIT, needs numba installed), 'cext' (compiled on "
+            "demand with the system C compiler), 'python' (uncompiled "
+            "loops), or 'auto' (default: numba if importable, else cext "
+            "if a compiler is present, else numpy).  Results are "
+            "bit-identical across backends.  Also settable via the "
+            "REPRO_KERNEL environment variable"
+        ),
+    )
+    run.add_argument(
         "--csv-dir",
         default=None,
         help="write one CSV grid per configuration into this directory",
@@ -164,12 +181,24 @@ def _cmd_run(args, out, err) -> int:
     spec = get_experiment(args.experiment)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     total_configs = len(spec.configs)
+    # Resolve the kernel up front so an unknown/unavailable backend fails
+    # fast with a clear message instead of deep inside a worker process --
+    # an explicit --kernel is validated even under --no-fastpath (where it
+    # is otherwise unused).
+    kernel_name = (
+        get_backend(args.kernel).name
+        if args.fastpath or args.kernel is not None
+        else None
+    )
+    if not args.fastpath:
+        kernel_name = None
 
     print(
         f"{spec.paper_reference}: {spec.title}\n"
         f"scale={args.scale} seed={args.seed} "
         f"workers={args.workers or 1} cache={'off' if cache is None else args.cache_dir} "
-        f"fastpath={'on' if args.fastpath else 'off'}",
+        f"fastpath={'on' if args.fastpath else 'off'}"
+        + (f" kernel={kernel_name}" if kernel_name else ""),
         file=out,
     )
 
@@ -200,6 +229,7 @@ def _cmd_run(args, out, err) -> int:
         workers=args.workers,
         cache=cache,
         fastpath=args.fastpath,
+        kernel=kernel_name,
         progress_factory=per_config_progress,
     )
     if not args.quiet:
@@ -267,7 +297,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=err)
         return 2
-    except (ValueError, TypeError) as exc:
+    except (ValueError, TypeError, KernelUnavailableError) as exc:
         print(f"error: {exc}", file=err)
         return 2
     except KeyboardInterrupt:

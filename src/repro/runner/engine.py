@@ -124,6 +124,7 @@ def run_grid(
     cache: CacheSpec = None,
     runs_per_unit: Optional[int] = None,
     fastpath: bool = True,
+    kernel: Optional[str] = None,
 ) -> GridResult:
     """Sweep the Gilbert (p, q) grid for one configuration.
 
@@ -153,6 +154,7 @@ def run_grid(
         fresh_code_per_run=fresh_code_per_run,
         runs_per_unit=runs_per_unit,
         fastpath=fastpath,
+        kernel=kernel,
     )
     results = _execute(
         units,
@@ -211,6 +213,7 @@ def run_series(
     cache: CacheSpec = None,
     runs_per_unit: Optional[int] = None,
     fastpath: bool = True,
+    kernel: Optional[str] = None,
     label: str = "",
 ) -> SeriesResult:
     """Sweep a pre-built list of configurations at a fixed (p, q) point.
@@ -239,6 +242,7 @@ def run_series(
         code_seed_by_path=True,
         runs_per_unit=runs_per_unit,
         fastpath=fastpath,
+        kernel=kernel,
     )
     results = _execute(
         units,

@@ -62,6 +62,11 @@ class WorkUnit:
         :mod:`repro.fastpath` (bit-identical to the incremental path, so
         the flag is *not* part of the cache key); ``False`` keeps the
         per-run reference loop.
+    kernel:
+        :mod:`repro.kernels` backend name for the batch decode (``None``
+        resolves ``REPRO_KERNEL`` / auto in the executing process).  All
+        backends are bit-identical, so like ``fastpath`` this is excluded
+        from the cache key; kept a plain string so units stay picklable.
     """
 
     config: SimulationConfig
@@ -74,6 +79,7 @@ class WorkUnit:
     fresh_code_per_run: bool = False
     code_seed_path: Optional[SeedPath] = None
     fastpath: bool = True
+    kernel: Optional[str] = None
 
     @property
     def runs(self) -> int:
@@ -107,6 +113,7 @@ def plan_units(
     code_seed_by_path: bool = False,
     runs_per_unit: Optional[int] = None,
     fastpath: bool = True,
+    kernel: Optional[str] = None,
 ) -> List[WorkUnit]:
     """Shard a sweep into work units.
 
@@ -122,6 +129,8 @@ def plan_units(
         of the sweep-wide ``base_seed`` (parameter-sweep behaviour).
     fastpath:
         Execute each unit's run range as one vectorised batch (default).
+    kernel:
+        Kernel-backend name for the batch decode (``None``: env / auto).
     """
     chunk = runs if runs_per_unit is None else max(1, int(runs_per_unit))
     units: List[WorkUnit] = []
@@ -141,6 +150,7 @@ def plan_units(
                     if code_seed_by_path
                     else None,
                     fastpath=bool(fastpath),
+                    kernel=kernel,
                 )
             )
     return units
@@ -199,6 +209,7 @@ def _unit_run_results(unit: WorkUnit) -> List["RunResult"]:
                 channel,
                 [_run_rng(unit, run) for run in runs],
                 nsent=unit.config.nsent,
+                kernel=unit.kernel,
             )
         simulator = Simulator(code, tx_model, channel)
         return [simulator.run(_run_rng(unit, run), nsent=unit.config.nsent) for run in runs]
@@ -211,7 +222,14 @@ def _unit_run_results(unit: WorkUnit) -> List["RunResult"]:
         code = unit.config.build_code(seed=run_rng)
         if unit.fastpath:
             results.extend(
-                simulate_batch(code, tx_model, channel, [run_rng], nsent=unit.config.nsent)
+                simulate_batch(
+                    code,
+                    tx_model,
+                    channel,
+                    [run_rng],
+                    nsent=unit.config.nsent,
+                    kernel=unit.kernel,
+                )
             )
         else:
             results.append(

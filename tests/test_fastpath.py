@@ -30,8 +30,13 @@ from repro.fastpath import (
 )
 from repro.fastpath.prototypes import NOT_DECODED, BlockCountPrototype
 from repro.fec.registry import make_code
+from repro.kernels import available_backends
 from repro.runner.units import WorkUnit, execute_unit
 from repro.scheduling.registry import make_tx_model
+
+#: Every kernel backend this machine can run: the equivalence contract
+#: holds for all of them, so the parity machinery sweeps each one.
+KERNELS = list(available_backends())
 
 #: One representative configuration per code family.
 CODES = [
@@ -80,6 +85,18 @@ class TestBatchEquivalence:
                 code, tx_model, channel, seeded_rngs(salt, 5)
             )
             assert actual == expected
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("code_name,ratio", CODES)
+    def test_codes_by_kernel_backend(self, kernel, code_name, ratio):
+        code = make_code(code_name, k=90, expansion_ratio=ratio, seed=6)
+        tx_model = make_tx_model("tx_model_2")
+        for salt, channel in enumerate(CHANNELS[:4]):
+            expected = legacy_runs(code, tx_model, channel, seeded_rngs(salt, 4))
+            actual = simulate_batch(
+                code, tx_model, channel, seeded_rngs(salt, 4), kernel=kernel
+            )
+            assert actual == expected, f"kernel {kernel} diverged on {code_name}"
 
     @pytest.mark.parametrize("code_name,ratio", CODES)
     def test_nsent_truncation(self, code_name, ratio):
