@@ -5,11 +5,16 @@ Measures end-to-end simulation throughput (runs/second: schedule + channel
 
 * **serial** -- the incremental reference path (``fastpath=False``: one
   ``Simulator.run`` per run, per-packet ``add_packet`` loop), and
-* **fastpath** -- :func:`repro.fastpath.simulate_batch` decoding a whole
-  work-unit-sized batch of runs at once, once per available
+* **fastpath** -- :func:`repro.fastpath.simulate_batch_columnar` pushing a
+  whole work-unit-sized batch of runs through the batched
+  :mod:`repro.pipeline` run synthesis (whole-unit schedules, loss masks,
+  received assembly) and the batch decode, once per available
   :mod:`repro.kernels` backend (the vectorised ``numpy`` reference with
   its chain-aware staircase cascade, plus whichever compiled backends --
-  ``numba``, ``cext`` -- this machine can build).
+  ``numba``, ``cext`` -- this machine can build).  The columnar
+  ``RunResultBatch`` is exactly what the runner's work units consume, so
+  the measurement covers result assembly too; per-run generator
+  construction stays inside the timed region (as in every prior entry).
 
 Every (kernel, family) sample is checked for bit-identity against the
 serial path before timing.  The measured throughputs are appended to
@@ -40,7 +45,7 @@ from _shared import BENCH_SEED  # noqa: E402
 
 from repro.channel.gilbert import GilbertChannel
 from repro.core.simulator import Simulator
-from repro.fastpath import simulate_batch
+from repro.fastpath import simulate_batch, simulate_batch_columnar
 from repro.fec.registry import make_code
 from repro.kernels import available_backends, default_backend_name
 from repro.scheduling.registry import make_tx_model
@@ -115,11 +120,13 @@ def _measure(family: str, ratio: float, kernels: list[str]) -> dict:
 
     by_kernel: dict[str, float] = {}
     for kernel in kernels:
-        simulate_batch(code, tx_model, channel, _rngs(8), kernel=kernel)  # warm
+        simulate_batch_columnar(code, tx_model, channel, _rngs(8), kernel=kernel)  # warm
         best = 0.0
         for _ in range(2):
             started = time.perf_counter()
-            simulate_batch(code, tx_model, channel, _rngs(BATCH_RUNS), kernel=kernel)
+            simulate_batch_columnar(
+                code, tx_model, channel, _rngs(BATCH_RUNS), kernel=kernel
+            )
             elapsed = time.perf_counter() - started
             best = max(best, BATCH_RUNS / elapsed)
         by_kernel[kernel] = round(best, 1)

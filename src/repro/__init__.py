@@ -24,6 +24,12 @@ The package is organised as a set of small, composable subsystems:
     prototypes, closed-form batched RSE/repetition decoding, the O(log n)
     checkpointed gallop+bisect search for LDGM.  Bit-identical to the
     incremental path and on by default (``fastpath=False`` opts out).
+``repro.pipeline``
+    The batched run-synthesis pipeline feeding the fast path: whole-unit
+    transmission schedules (``schedule_batch``), loss masks
+    (``loss_mask_batch``) and received-batch assembly as arrays, with
+    columnar ``RunResultBatch`` results -- bit-identical to the per-run
+    front end for any seed.
 ``repro.runner``
     The parallel experiment-execution engine: deterministic work-unit
     sharding, serial / process-pool executors, the resumable on-disk
@@ -66,7 +72,8 @@ from repro.fec import (
     ReedSolomonCode,
     make_code,
 )
-from repro.fastpath import simulate_batch
+from repro.fastpath import simulate_batch, simulate_batch_columnar
+from repro.pipeline import synthesize_runs
 from repro.runner import ProcessExecutor, ResultCache, SerialExecutor, run_grid
 from repro.scheduling import make_tx_model
 
@@ -92,5 +99,7 @@ __all__ = [
     "SerialExecutor",
     "run_grid",
     "simulate_batch",
+    "simulate_batch_columnar",
+    "synthesize_runs",
     "__version__",
 ]

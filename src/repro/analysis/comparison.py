@@ -16,7 +16,7 @@ import numpy as np
 from repro.channel.gilbert import GilbertChannel
 from repro.core.config import SimulationConfig
 from repro.core.metrics import CellStats
-from repro.core.simulator import Simulator
+from repro.fastpath import simulate_batch_columnar
 from repro.utils.rng import RandomState
 
 #: Default sets compared by figure 15.
@@ -93,13 +93,25 @@ def compare_at_point(
                     np.random.SeedSequence([int(seed_base), tx_index, code_index])
                 )
             )
-            simulator = Simulator(code, config.build_tx_model(), channel)
+            # One batched pipeline pass per candidate (each run keeps its
+            # own generator, so this is bit-identical to per-run
+            # Simulator.run calls), aggregated columnar.
             stats = CellStats()
-            for run in range(runs):
-                run_rng = np.random.default_rng(
-                    np.random.SeedSequence([int(seed_base), tx_index, code_index, run])
+            stats.add_batch(
+                simulate_batch_columnar(
+                    code,
+                    config.build_tx_model(),
+                    channel,
+                    [
+                        np.random.default_rng(
+                            np.random.SeedSequence(
+                                [int(seed_base), tx_index, code_index, run]
+                            )
+                        )
+                        for run in range(runs)
+                    ],
                 )
-                stats.add(simulator.run(run_rng))
+            )
             result.values[tx_name][code_name] = stats.mean_inefficiency
             result.failures[tx_name][code_name] = stats.failures
     return result

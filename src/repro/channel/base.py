@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -17,6 +17,17 @@ class LossModel(abc.ABC):
     which packets are erased; content is never corrupted (erasure channel,
     as in the paper).
     """
+
+    @property
+    def uses_rng(self) -> bool:
+        """Whether :meth:`loss_mask` draws from the generator.
+
+        Deterministic channels (perfect, periodic bursts, trace replay
+        without a random offset) override this to return False, which lets
+        the batched pipeline broadcast one mask over a work unit and
+        relaxes draw-ordering constraints when runs share one generator.
+        """
+        return True
 
     @abc.abstractmethod
     def loss_mask(
@@ -34,6 +45,30 @@ class LossModel(abc.ABC):
         their backend without per-channel special cases.  Masks are
         bit-identical for any ``kernel`` value.
         """
+
+    def loss_mask_batch(
+        self,
+        count: int,
+        rngs: Sequence[RandomState],
+        *,
+        kernel=None,
+    ) -> np.ndarray:
+        """Loss masks for a whole work unit as one ``(runs, count)`` array.
+
+        Row ``i`` must be exactly what ``self.loss_mask(count, rngs[i])``
+        would return, with the generators consumed in run order -- the
+        batched pipeline relies on this draw-identity.  The default
+        implementation guarantees it by calling :meth:`loss_mask` per run;
+        the built-in channels override it with vectorised draws (or a
+        broadcast view for deterministic models -- treat the result as
+        read-only).
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        masks = np.empty((len(rngs), count), dtype=bool)
+        for row, rng in zip(masks, rngs):
+            row[:] = self.loss_mask(count, ensure_rng(rng), kernel=kernel)
+        return masks
 
     def reception_mask(self, count: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Complement of :meth:`loss_mask`: ``True`` marks a received packet."""

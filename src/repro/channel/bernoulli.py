@@ -7,12 +7,12 @@ baselines and cheaper to simulate.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.channel.base import LossModel
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import validate_probability
 
 
@@ -21,6 +21,10 @@ class BernoulliChannel(LossModel):
 
     def __init__(self, loss_rate: float):
         self.loss_rate = validate_probability(loss_rate, "loss_rate")
+
+    @property
+    def uses_rng(self) -> bool:
+        return 0.0 < self.loss_rate < 1.0
 
     @property
     def global_loss_probability(self) -> float:
@@ -42,12 +46,36 @@ class BernoulliChannel(LossModel):
             return np.ones(count, dtype=bool)
         return rng.random(count) < self.loss_rate
 
+    def loss_mask_batch(
+        self,
+        count: int,
+        rngs: Sequence[RandomState],
+        *,
+        kernel=None,
+    ) -> np.ndarray:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        runs = len(rngs)
+        if self.loss_rate == 0.0:
+            return np.broadcast_to(np.zeros(count, dtype=bool), (runs, count))
+        if self.loss_rate == 1.0:
+            return np.broadcast_to(np.ones(count, dtype=bool), (runs, count))
+        # One uniform matrix, filled row by row straight from each run's
+        # generator (``random(out=...)`` consumes the stream exactly like
+        # ``random(count)``), compared against the rate in one shot.
+        draws = np.empty((runs, count), dtype=np.float64)
+        for row, rng in zip(draws, rngs):
+            ensure_rng(rng).random(out=row)
+        return draws < self.loss_rate
+
     def __repr__(self) -> str:
         return f"BernoulliChannel(loss_rate={self.loss_rate})"
 
 
 class PerfectChannel(LossModel):
     """A channel that never loses packets."""
+
+    uses_rng = False
 
     @property
     def global_loss_probability(self) -> float:
@@ -63,6 +91,15 @@ class PerfectChannel(LossModel):
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         return np.zeros(count, dtype=bool)
+
+    def loss_mask_batch(
+        self,
+        count: int,
+        rngs: Sequence[RandomState],
+        *,
+        kernel=None,
+    ) -> np.ndarray:
+        return np.broadcast_to(self.loss_mask(count), (len(rngs), count))
 
     def __repr__(self) -> str:
         return "PerfectChannel()"

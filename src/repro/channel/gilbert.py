@@ -14,13 +14,13 @@ Special cases (also noted in the paper):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.channel.base import LossModel
 from repro.kernels import KernelSpec, get_backend
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import validate_probability
 
 #: The (p, q) grid used for every 3-D figure of the paper, in percent.
@@ -84,6 +84,11 @@ class GilbertChannel(LossModel):
         """True when the model degenerates to IID (Bernoulli) losses."""
         return abs(self.q - (1.0 - self.p)) < 1e-12
 
+    @property
+    def uses_rng(self) -> bool:
+        """False for the degenerate all-received / all-lost chains."""
+        return self.p != 0.0 and self.q != 0.0
+
     #: Geometric sojourn lengths are drawn in batches of this many runs.
     _SOJOURN_BATCH = 256
 
@@ -108,19 +113,107 @@ class GilbertChannel(LossModel):
         """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
-        rng = ensure_rng(rng)
         mask = np.empty(count, dtype=bool)
+        self._fill_mask(mask, ensure_rng(rng), get_backend(kernel))
+        return mask
+
+    def loss_mask_batch(
+        self,
+        count: int,
+        rngs: Sequence[RandomState],
+        *,
+        kernel: KernelSpec = None,
+    ) -> np.ndarray:
+        """One mask per generator, filled into a single ``(runs, count)`` array.
+
+        The chain draws stay per run -- they are what defines each run's
+        stream, so row ``i`` consumes ``rngs[i]`` exactly like
+        :meth:`loss_mask` would -- but everything around them is batched:
+        the first sojourn batch of every run is drawn into two
+        ``(runs, batch)`` matrices and expanded by **one**
+        ``fill_sojourns_batch`` kernel call (for typical parameters that
+        first batch covers the whole mask), and only the rare rows whose
+        sojourns fall short continue chain-style.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        runs = len(rngs)
+        if self.p == 0.0:
+            return np.broadcast_to(np.zeros(count, dtype=bool), (runs, count))
+        if self.q == 0.0:
+            return np.broadcast_to(np.ones(count, dtype=bool), (runs, count))
+        masks = np.empty((runs, count), dtype=bool)
+        if count == 0 or runs == 0:
+            return masks
+        backend = get_backend(kernel)
+        batch_size = self._SOJOURN_BATCH
+        loss_probability = self.global_loss_probability
+        states = np.empty(runs, dtype=bool)
+        gap_runs = np.empty((runs, batch_size), dtype=np.int64)
+        burst_runs = np.empty((runs, batch_size), dtype=np.int64)
+        extras: dict[int, list] = {}
+        for index, rng in enumerate(rngs):
+            rng = ensure_rng(rng)
+            states[index] = rng.random() < loss_probability
+            gap = rng.geometric(self.p, size=batch_size)
+            burst = rng.geometric(self.q, size=batch_size)
+            gap_runs[index] = gap
+            burst_runs[index] = burst
+            # The serial chain draws a run's continuation batches *before*
+            # the next run's draws, which matters when runs share one
+            # generator -- so pre-draw them here, inside the per-run loop.
+            # A batch falls short exactly when its uncapped sojourn total
+            # does (capping only shortens the final used sojourn).  The
+            # fill consumes ONE sojourn per index -- ``burst[i]`` in the
+            # loss state, ``gap[i]`` otherwise, alternating -- so the
+            # total is the strided alternating sum, and each batch's even
+            # sojourn count leaves the starting state unchanged.
+            in_loss_state = bool(states[index])
+
+            def batch_total(gap_batch: np.ndarray, burst_batch: np.ndarray) -> int:
+                first, second = (
+                    (burst_batch, gap_batch) if in_loss_state else (gap_batch, burst_batch)
+                )
+                # Tiny p/q saturate rng.geometric near 2**63 - 1, so the
+                # raw sum could overflow (and a wrapped negative total
+                # would draw batches forever); capping each sojourn at
+                # ``count`` cannot change whether the total reaches it.
+                return int(np.minimum(first[0::2], count).sum()) + int(
+                    np.minimum(second[1::2], count).sum()
+                )
+
+            covered = batch_total(gap, burst)
+            while covered < count:
+                gap = rng.geometric(self.p, size=batch_size)
+                burst = rng.geometric(self.q, size=batch_size)
+                extras.setdefault(index, []).append((gap, burst))
+                covered += batch_total(gap, burst)
+        filled = backend.fill_sojourns_batch(masks, states, gap_runs, burst_runs)
+        for index, batches in extras.items():
+            # An even number of sojourns per batch leaves the state
+            # unchanged, so the initial state still applies.
+            row, row_filled = masks[index], int(filled[index])
+            in_loss_state = bool(states[index])
+            for gap, burst in batches:
+                row_filled = backend.fill_sojourns(
+                    row, row_filled, in_loss_state, gap, burst
+                )
+        return masks
+
+    def _fill_mask(
+        self, mask: np.ndarray, rng: np.random.Generator, backend
+    ) -> None:
+        """Fill a preallocated mask with one run's chain (shared hot loop)."""
+        count = mask.size
         if count == 0:
-            return mask
+            return
         if self.p == 0.0:
             mask[:] = False
-            return mask
+            return
         if self.q == 0.0:
             # Stationary distribution puts all mass on the loss state.
             mask[:] = True
-            return mask
-
-        backend = get_backend(kernel)
+            return
         batch_size = self._SOJOURN_BATCH
         in_loss_state = bool(rng.random() < self.global_loss_probability)
         filled = 0
@@ -132,7 +225,6 @@ class GilbertChannel(LossModel):
             filled = backend.fill_sojourns(
                 mask, filled, in_loss_state, gap_runs, burst_runs
             )
-        return mask
 
     def _loss_mask_serial(
         self, count: int, rng: Optional[np.random.Generator] = None

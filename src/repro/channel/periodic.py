@@ -7,16 +7,19 @@ of every ``period`` packets, starting at ``offset``.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.channel.base import LossModel
+from repro.utils.rng import RandomState
 from repro.utils.validation import validate_positive_int
 
 
 class PeriodicBurstChannel(LossModel):
     """Lose ``burst_length`` packets out of every ``period`` packets."""
+
+    uses_rng = False
 
     def __init__(self, period: int, burst_length: int, offset: int = 0):
         self.period = validate_positive_int(period, "period")
@@ -44,6 +47,15 @@ class PeriodicBurstChannel(LossModel):
             raise ValueError(f"count must be non-negative, got {count}")
         positions = (np.arange(count) + self.offset) % self.period
         return positions < self.burst_length
+
+    def loss_mask_batch(
+        self,
+        count: int,
+        rngs: Sequence[RandomState],
+        *,
+        kernel=None,
+    ) -> np.ndarray:
+        return np.broadcast_to(self.loss_mask(count), (len(rngs), count))
 
     def __repr__(self) -> str:
         return (

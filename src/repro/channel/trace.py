@@ -15,7 +15,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.channel.base import LossModel
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RandomState, ensure_rng
 
 
 class TraceChannel(LossModel):
@@ -50,6 +50,10 @@ class TraceChannel(LossModel):
         self.random_offset = random_offset
 
     @property
+    def uses_rng(self) -> bool:
+        return self.random_offset
+
+    @property
     def global_loss_probability(self) -> float:
         return float(np.count_nonzero(self.trace)) / self.trace.size
 
@@ -73,6 +77,35 @@ class TraceChannel(LossModel):
         available = min(count, self.trace.size - offset)
         mask[:available] = self.trace[offset : offset + available]
         return mask
+
+    def loss_mask_batch(
+        self,
+        count: int,
+        rngs: Sequence[RandomState],
+        *,
+        kernel=None,
+    ) -> np.ndarray:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        runs = len(rngs)
+        if not self.random_offset:
+            return np.broadcast_to(self.loss_mask(count), (runs, count))
+        # One offset draw per run (the serial path draws it even for
+        # count == 0), then the replay is a single vectorised gather.
+        offsets = np.fromiter(
+            (int(ensure_rng(rng).integers(self.trace.size)) for rng in rngs),
+            dtype=np.int64,
+            count=runs,
+        )
+        if count == 0:
+            return np.zeros((runs, 0), dtype=bool)
+        positions = offsets[:, None] + np.arange(count, dtype=np.int64)
+        if self.cyclic:
+            return self.trace[positions % self.trace.size]
+        masks = np.zeros((runs, count), dtype=bool)
+        in_trace = positions < self.trace.size
+        masks[in_trace] = self.trace[positions[in_trace]]
+        return masks
 
     def __repr__(self) -> str:
         return (

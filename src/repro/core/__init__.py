@@ -22,7 +22,7 @@ from repro.core.experiments import (
     SCALES,
     get_experiment,
 )
-from repro.core.metrics import GridResult, RunResult
+from repro.core.metrics import GridResult, RunResult, RunResultBatch
 from repro.core.optimizer import optimal_nsent, optimal_nsent_for_object, worked_example_section_6_2_1
 from repro.core.recommendations import (
     Recommendation,
@@ -35,6 +35,7 @@ from repro.core.sweep import simulate_grid, sweep_parameter
 __all__ = [
     "SimulationConfig",
     "RunResult",
+    "RunResultBatch",
     "GridResult",
     "Simulator",
     "simulate_once",

@@ -14,9 +14,14 @@ which upper-bounds the inefficiency ratio.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
+
+#: ``n_necessary`` sentinel in columnar result arrays for runs that never
+#: decoded (same value as :data:`repro.kernels.NOT_DECODED`; duplicated
+#: here so the metrics layer needs no kernel import).
+NOT_DECODED = -1
 
 
 @dataclass(frozen=True)
@@ -72,6 +77,136 @@ class RunResult:
         return self.n_received - self.n_necessary
 
 
+@dataclass(frozen=True)
+class RunResultBatch:
+    """Columnar outcomes of a whole batch of runs (one array per field).
+
+    The batched pipeline assembles this directly from arrays -- no per-run
+    :class:`RunResult` objects on the hot path.  The scalar view is still
+    available through :meth:`to_results` (bit-identical, for callers that
+    want the historical list-of-results API), and per-run batches convert
+    the other way with :meth:`from_results`.
+
+    Attributes
+    ----------
+    decoded:
+        Boolean array, one entry per run.
+    n_necessary:
+        ``int64`` array: 1-based arrival position of the packet completing
+        decoding, or :data:`NOT_DECODED` (-1) where the run never decoded.
+    n_received, n_sent:
+        ``int64`` arrays of per-run packet counts.
+    k, n:
+        Code dimensions shared by every run of the batch.
+    """
+
+    decoded: np.ndarray
+    n_necessary: np.ndarray
+    n_received: np.ndarray
+    n_sent: np.ndarray
+    k: int
+    n: int
+
+    @property
+    def runs(self) -> int:
+        return int(self.decoded.size)
+
+    @property
+    def failures(self) -> int:
+        """Number of runs that never decoded."""
+        return int(np.count_nonzero(~self.decoded))
+
+    def received_ratios(self) -> np.ndarray:
+        """``n_received / k`` per run (every run, in run order)."""
+        return self.n_received / self.k
+
+    def inefficiency_ratios(self) -> np.ndarray:
+        """``n_necessary / k`` over the *decoded* runs only, in run order.
+
+        Matches what :class:`CellStats` collects: failed runs contribute
+        nothing (their mean is defined NaN by the paper's rule).
+        """
+        return self.n_necessary[self.decoded] / self.k
+
+    def to_results(self) -> List[RunResult]:
+        """Expand into the historical per-run result list (bit-identical)."""
+        return [
+            RunResult(
+                decoded=bool(self.decoded[run]),
+                n_necessary=(
+                    int(self.n_necessary[run])
+                    if self.n_necessary[run] != NOT_DECODED
+                    else None
+                ),
+                n_received=int(self.n_received[run]),
+                n_sent=int(self.n_sent[run]),
+                k=self.k,
+                n=self.n,
+            )
+            for run in range(self.runs)
+        ]
+
+    @classmethod
+    def from_results(cls, results: Sequence[RunResult]) -> "RunResultBatch":
+        """Stack per-run results into columns (the reference-path adapter)."""
+        runs = len(results)
+        decoded = np.fromiter(
+            (result.decoded for result in results), dtype=bool, count=runs
+        )
+        n_necessary = np.fromiter(
+            (
+                result.n_necessary if result.n_necessary is not None else NOT_DECODED
+                for result in results
+            ),
+            dtype=np.int64,
+            count=runs,
+        )
+        n_received = np.fromiter(
+            (result.n_received for result in results), dtype=np.int64, count=runs
+        )
+        n_sent = np.fromiter(
+            (result.n_sent for result in results), dtype=np.int64, count=runs
+        )
+        k = results[0].k if results else 0
+        n = results[0].n if results else 0
+        return cls(
+            decoded=decoded,
+            n_necessary=n_necessary,
+            n_received=n_received,
+            n_sent=n_sent,
+            k=k,
+            n=n,
+        )
+
+    @classmethod
+    def concatenate(cls, batches: Sequence["RunResultBatch"]) -> "RunResultBatch":
+        """Stack batches of the same code dimensions, preserving run order."""
+        if not batches:
+            empty = np.zeros(0, dtype=np.int64)
+            return cls(
+                decoded=np.zeros(0, dtype=bool),
+                n_necessary=empty,
+                n_received=empty.copy(),
+                n_sent=empty.copy(),
+                k=0,
+                n=0,
+            )
+        dimensions = {(batch.k, batch.n) for batch in batches}
+        if len(dimensions) != 1:
+            raise ValueError(
+                f"cannot concatenate batches of different code dimensions: "
+                f"{sorted(dimensions)}"
+            )
+        return cls(
+            decoded=np.concatenate([batch.decoded for batch in batches]),
+            n_necessary=np.concatenate([batch.n_necessary for batch in batches]),
+            n_received=np.concatenate([batch.n_received for batch in batches]),
+            n_sent=np.concatenate([batch.n_sent for batch in batches]),
+            k=batches[0].k,
+            n=batches[0].n,
+        )
+
+
 @dataclass
 class CellStats:
     """Aggregate of the runs at a single (p, q) grid point."""
@@ -88,6 +223,13 @@ class CellStats:
             self.inefficiency_ratios.append(result.inefficiency_ratio)
         else:
             self.failures += 1
+
+    def add_batch(self, batch: RunResultBatch) -> None:
+        """Columnar bulk :meth:`add`: one call per work unit, not per run."""
+        self.runs += batch.runs
+        self.failures += batch.failures
+        self.received_ratios.extend(batch.received_ratios().tolist())
+        self.inefficiency_ratios.extend(batch.inefficiency_ratios().tolist())
 
     @property
     def all_decoded(self) -> bool:
@@ -197,4 +339,11 @@ class SeriesResult:
         return float(self.parameter_values[int(np.argmin(values))])
 
 
-__all__ = ["RunResult", "CellStats", "GridResult", "SeriesResult"]
+__all__ = [
+    "NOT_DECODED",
+    "RunResult",
+    "RunResultBatch",
+    "CellStats",
+    "GridResult",
+    "SeriesResult",
+]

@@ -24,7 +24,6 @@ from repro.channel.gilbert import GilbertChannel
 from repro.core.config import SimulationConfig
 from repro.core.metrics import CellStats
 from repro.core.optimizer import NSentPlan, optimal_nsent
-from repro.core.simulator import Simulator
 from repro.utils.rng import RandomState
 from repro.utils.validation import validate_positive_int, validate_probability
 
@@ -112,18 +111,33 @@ def recommend_for_channel(
                 expansion_ratio=ratio,
                 tx_options=tx_options,
             )
-            stats = CellStats()
+            # Imported here, not at module top: repro.core <-> repro.fastpath
+            # would otherwise cycle (same pattern as Simulator.run_many).
+            from repro.fastpath import simulate_batch_columnar
+
             code = config.build_code(seed=np.random.default_rng(_seed_int(seed)))
             tx_model = config.build_tx_model()
-            simulator = Simulator(code, tx_model, channel)
             candidate_salt = _stable_salt(f"{code_name}/{tx_name}")
-            for run in range(runs):
-                run_rng = np.random.default_rng(
-                    np.random.SeedSequence(
-                        [_seed_int(seed), candidate_salt, int(ratio * 10), run]
-                    )
+            # One batched pipeline pass per candidate (each run keeps its
+            # own generator, so this is bit-identical to per-run
+            # Simulator.run calls), aggregated columnar.
+            stats = CellStats()
+            stats.add_batch(
+                simulate_batch_columnar(
+                    code,
+                    tx_model,
+                    channel,
+                    [
+                        np.random.default_rng(
+                            np.random.SeedSequence(
+                                [_seed_int(seed), candidate_salt, int(ratio * 10), run]
+                            )
+                        )
+                        for run in range(runs)
+                    ],
+                    nsent=config.nsent,
                 )
-                stats.add(simulator.run(run_rng, nsent=config.nsent))
+            )
             mean_inef = stats.mean_inefficiency_of_successes
             plan = None
             if stats.all_decoded and np.isfinite(mean_inef):

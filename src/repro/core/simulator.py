@@ -18,7 +18,7 @@ from repro.channel.base import LossModel
 from repro.channel.bernoulli import PerfectChannel
 from repro.channel.gilbert import GilbertChannel
 from repro.core.config import SimulationConfig
-from repro.core.metrics import RunResult
+from repro.core.metrics import RunResult, RunResultBatch
 from repro.fec.base import FECCode
 from repro.scheduling.base import TransmissionModel
 from repro.utils.rng import RandomState, ensure_rng
@@ -134,6 +134,33 @@ class Simulator:
                 kernel=kernel,
             )
         return [self.run(rng, nsent=nsent) for _ in range(runs)]
+
+    def run_batch(
+        self,
+        runs: int,
+        rng: RandomState = None,
+        nsent: Optional[int] = None,
+        *,
+        kernel: Optional[str] = None,
+    ) -> RunResultBatch:
+        """Simulate ``runs`` independent transmissions, returning columns.
+
+        The columnar face of :meth:`run_many`: the whole batch flows
+        through the :mod:`repro.pipeline` run-synthesis pipeline and comes
+        back as one :class:`~repro.core.metrics.RunResultBatch` (one array
+        per metric) -- bit-identical to ``run_many(runs, rng, nsent)`` for
+        any seed, without materialising per-run result objects.
+        """
+        from repro.fastpath import simulate_batch_columnar
+
+        return simulate_batch_columnar(
+            self.code,
+            self.tx_model,
+            self.channel,
+            [ensure_rng(rng)] * runs,
+            nsent=nsent,
+            kernel=kernel,
+        )
 
 
 def simulate_once(

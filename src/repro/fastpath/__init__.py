@@ -10,8 +10,12 @@ is **bit-identical** for any seed:
   and the batched decode algorithms (closed-form RSE/repetition counting,
   LDGM peeling on a pluggable :mod:`repro.kernels` backend, incremental
   fallback).
-* :mod:`repro.fastpath.batch` -- :func:`simulate_batch`, the drop-in batch
-  equivalent of running the simulator once per run.
+* :mod:`repro.fastpath.batch` -- :func:`simulate_batch_columnar`, the
+  drop-in batch equivalent of running the simulator once per run: the
+  batched :mod:`repro.pipeline` front end (whole-unit schedules, loss
+  masks and received assembly as arrays) plus the prototype decode,
+  returning columnar :class:`~repro.core.metrics.RunResultBatch` arrays
+  (:func:`simulate_batch` wraps them back into per-run results).
 
 Selected by default through ``Simulator.run_many(fastpath=True)``, the
 runner work units and the benchmark harness; pass ``fastpath=False`` (or
@@ -21,7 +25,11 @@ runner work units and the benchmark harness; pass ``fastpath=False`` (or
 either way).
 """
 
-from repro.fastpath.batch import MAX_STACKED_EDGES, simulate_batch
+from repro.fastpath.batch import (
+    MAX_STACKED_EDGES,
+    simulate_batch,
+    simulate_batch_columnar,
+)
 from repro.fastpath.prototypes import (
     NOT_DECODED,
     BlockCountPrototype,
@@ -35,6 +43,7 @@ from repro.fastpath.prototypes import (
 
 __all__ = [
     "simulate_batch",
+    "simulate_batch_columnar",
     "MAX_STACKED_EDGES",
     "NOT_DECODED",
     "ReceivedBatch",

@@ -1,14 +1,17 @@
 """Batched run execution: the vectorised replacement for the per-run loop.
 
-:func:`simulate_batch` is the fast-path equivalent of calling
-:meth:`repro.core.simulator.Simulator.run` once per run.  It consumes the
-per-run generators in exactly the same order as the incremental path (the
-transmission schedule first, then the channel mask, run by run), flattens
-all received sequences **once** into a :class:`~repro.kernels.ReceivedBatch`
-and hands it to the code's precompiled
-:class:`~repro.fastpath.prototypes.DecoderPrototype`, so the returned
-:class:`~repro.core.metrics.RunResult` list is bit-identical to the serial
-loop for any seed -- on every kernel backend.
+:func:`simulate_batch_columnar` is the fast-path equivalent of calling
+:meth:`repro.core.simulator.Simulator.run` once per run.  The pre-decode
+front end -- schedules, loss masks, received assembly -- is produced by the
+batched :func:`repro.pipeline.synthesize_runs` pipeline (whole work unit as
+``(runs, length)`` arrays, falling back to the per-run interleaved
+reference loop exactly where stage-major draws could diverge), and the
+resulting :class:`~repro.kernels.ReceivedBatch` is decoded by the code's
+precompiled :class:`~repro.fastpath.prototypes.DecoderPrototype`.  Results
+come back columnar (:class:`~repro.core.metrics.RunResultBatch`) --
+bit-identical to the serial loop for any seed, on every kernel backend;
+:func:`simulate_batch` keeps the historical list-of-:class:`RunResult` API
+on top of it.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.channel.base import LossModel
-from repro.core.metrics import RunResult
+from repro.core.metrics import RunResult, RunResultBatch
 from repro.fastpath.prototypes import (
     NOT_DECODED,
     DecoderPrototype,
@@ -26,10 +29,9 @@ from repro.fastpath.prototypes import (
     compile_prototype,
 )
 from repro.fec.base import FECCode
-from repro.kernels import KernelSpec, ReceivedBatch, get_backend
-from repro.scheduling.base import TransmissionModel
-from repro.utils.rng import RandomState, ensure_rng
-from repro.utils.validation import validate_positive_int
+from repro.kernels import KernelSpec, get_backend
+from repro.pipeline.synthesis import synthesize_runs
+from repro.utils.rng import RandomState
 
 #: Upper bound on ``runs x edges`` stacked into one LDGM peeling probe;
 #: batches beyond it are decoded in chunks to bound peak memory.  The
@@ -48,19 +50,19 @@ def _decode_chunk_size(prototype: DecoderPrototype, runs: int) -> int:
         and prototype.num_edges > 0
     ):
         return max(1, min(runs, MAX_STACKED_EDGES // prototype.num_edges))
-    return runs
+    return max(1, runs)
 
 
-def simulate_batch(
+def simulate_batch_columnar(
     code: FECCode,
-    tx_model: TransmissionModel,
+    tx_model,
     channel: LossModel,
     rngs: Sequence[RandomState],
     *,
     nsent: Optional[int] = None,
     kernel: KernelSpec = None,
-) -> List[RunResult]:
-    """Simulate one transmission per generator in ``rngs``, vectorised.
+) -> RunResultBatch:
+    """Simulate one transmission per generator in ``rngs``, fully columnar.
 
     ``rngs`` may contain distinct generators (one independent stream per
     run, the runner's scheme) or the same generator repeated (``run_many``'s
@@ -69,39 +71,12 @@ def simulate_batch(
     :mod:`repro.kernels` backend for the decode hot loops and the Gilbert
     sojourn fill (default: ``REPRO_KERNEL`` / auto).
     """
-    if nsent is not None:
-        nsent = validate_positive_int(nsent, "nsent")
     backend = get_backend(kernel)
-    layout = code.layout
-
-    sent_counts: List[int] = []
-    received: List[np.ndarray] = []
-    validated = False
-    for rng in rngs:
-        rng = ensure_rng(rng)
-        schedule = tx_model.schedule(layout, rng)
-        if validated:
-            schedule = np.asarray(schedule, dtype=np.int64)
-            # The vectorised decoders stack runs into one flat index space,
-            # so an out-of-range index would silently corrupt a *neighbour*
-            # run instead of raising; keep the cheap bounds check per run.
-            if schedule.size and (
-                int(schedule.min()) < 0 or int(schedule.max()) >= layout.n
-            ):
-                raise ValueError(
-                    f"schedule contains indices outside [0, {layout.n})"
-                )
-        else:
-            schedule = tx_model.validate_schedule(layout, schedule)
-            validated = True
-        if nsent is not None:
-            schedule = schedule[:nsent]
-        loss_mask = channel.loss_mask(schedule.size, rng, kernel=backend)
-        sent_counts.append(int(schedule.size))
-        received.append(schedule[~loss_mask])
-
+    synthesis = synthesize_runs(
+        code.layout, tx_model, channel, rngs, nsent=nsent, kernel=backend
+    )
     prototype = compile_prototype(code, backend)
-    batch = ReceivedBatch.from_sequences(received)
+    batch = synthesis.batch
     runs = batch.num_runs
     decoded = np.zeros(runs, dtype=bool)
     n_necessary = np.full(runs, NOT_DECODED, dtype=np.int64)
@@ -111,20 +86,34 @@ def simulate_batch(
         decoded[start:stop], n_necessary[start:stop] = prototype.decode_batch(
             batch.slice(start, stop)
         )
-
-    return [
-        RunResult(
-            decoded=bool(decoded[run]),
-            n_necessary=(
-                int(n_necessary[run]) if n_necessary[run] != NOT_DECODED else None
-            ),
-            n_received=int(received[run].size),
-            n_sent=sent_counts[run],
-            k=code.k,
-            n=code.n,
-        )
-        for run in range(runs)
-    ]
+    return RunResultBatch(
+        decoded=decoded,
+        n_necessary=n_necessary,
+        n_received=batch.lengths,
+        n_sent=synthesis.n_sent,
+        k=code.k,
+        n=code.n,
+    )
 
 
-__all__ = ["simulate_batch", "MAX_STACKED_EDGES"]
+def simulate_batch(
+    code: FECCode,
+    tx_model,
+    channel: LossModel,
+    rngs: Sequence[RandomState],
+    *,
+    nsent: Optional[int] = None,
+    kernel: KernelSpec = None,
+) -> List[RunResult]:
+    """Per-run result list on top of :func:`simulate_batch_columnar`.
+
+    Kept for callers that want the historical list-of-results API; the
+    hot paths (runner work units, benchmarks) consume the columnar batch
+    directly and never materialise per-run objects.
+    """
+    return simulate_batch_columnar(
+        code, tx_model, channel, rngs, nsent=nsent, kernel=kernel
+    ).to_results()
+
+
+__all__ = ["simulate_batch", "simulate_batch_columnar", "MAX_STACKED_EDGES"]

@@ -85,60 +85,15 @@ class DecoderPrototype(abc.ABC):
 # Closed-form prototypes: MDS blocks and repetition.
 # ---------------------------------------------------------------------------
 
+#: "Never arrived" sentinel in the first-arrival position table; sorts after
+#: every real position, so reaching it in an order statistic means the
+#: group's distinct-count goal was not met.
+_NEVER = np.iinfo(np.int64).max
 
-def _distinct_threshold_positions(
-    group_ids: np.ndarray,
-    positions: np.ndarray,
-    needed: np.ndarray,
-    num_groups: int,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Arrival position at which each group reaches its distinct-count goal.
-
-    ``group_ids``/``positions`` describe distinct arrivals (one entry per
-    first occurrence): the group the arrival counts towards and its 0-based
-    position in the run.  For every group ``g`` with at least ``needed[g]``
-    arrivals, returns the position of the ``needed[g]``-th one.
-
-    Returns ``(reached, threshold_position)`` arrays of length
-    ``num_groups``; ``threshold_position`` is undefined where ``reached`` is
-    False.
-    """
-    counts = np.bincount(group_ids, minlength=num_groups)
-    reached = counts >= needed
-    order = np.lexsort((positions, group_ids))
-    sorted_positions = positions[order]
-    group_starts = np.zeros(num_groups, dtype=np.int64)
-    np.cumsum(counts[:-1], out=group_starts[1:])
-    threshold = np.zeros(num_groups, dtype=np.int64)
-    reached_idx = np.nonzero(reached)[0]
-    threshold[reached_idx] = sorted_positions[
-        group_starts[reached_idx] + needed[reached_idx] - 1
-    ]
-    return reached, threshold
-
-
-def _first_occurrences(
-    batch: ReceivedBatch, key_of: Callable[[np.ndarray], np.ndarray], keys_per_run: int
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """First arrival of every distinct key, batched over runs.
-
-    ``key_of`` maps packet indices to the identity that matters for the code
-    (the index itself for RSE, ``index % k`` for repetition).  Returns
-    ``(run_of, key, position)`` arrays with one entry per distinct
-    ``(run, key)`` pair, where ``position`` is the 0-based arrival position
-    within the run.  Works directly on the batch's flat array -- flattened
-    once per work unit, never re-concatenated here.
-    """
-    if batch.flat.size == 0:
-        empty = np.zeros(0, dtype=np.int64)
-        return empty, empty, empty
-    run_ids = np.repeat(
-        np.arange(batch.num_runs, dtype=np.int64), batch.lengths
-    )
-    keys = key_of(batch.flat)
-    _uniq, first = np.unique(run_ids * np.int64(keys_per_run) + keys, return_index=True)
-    run_of = run_ids[first]
-    return run_of, keys[first], first - batch.offsets[run_of]
+#: Upper bound on the elements of one first-arrival position table
+#: (``runs x (keys_per_run + 1)`` int64); larger batches are decoded in
+#: run chunks to bound peak memory (~0.5 GB).
+_MAX_TABLE_ELEMENTS = 64_000_000
 
 
 class BlockCountPrototype(DecoderPrototype):
@@ -147,6 +102,19 @@ class BlockCountPrototype(DecoderPrototype):
     Covers every code whose completion condition is "each group ``g`` has
     received ``needed[g]`` distinct keys": RSE blocks (key = packet index,
     group = block) and repetition (key = group = source id).
+
+    The whole batch reduces to order statistics over first-arrival
+    positions, computed without a single sort:
+
+    1. one reversed scatter builds the ``(runs, keys)`` table of each
+       key's first arrival position (later stores win a fancy-indexing
+       scatter, so storing in reverse arrival order keeps the first),
+    2. a precompiled gather regroups the table's columns by group (groups
+       padded to a common width with a sentinel key that never arrives),
+    3. ``np.partition`` selects each group's ``needed``-th smallest
+       position -- an O(table) selection replacing the former
+       ``np.unique`` + ``lexsort`` passes, which dominated the closed-form
+       families' profile (~6x the remaining work at k = 1000).
     """
 
     def __init__(
@@ -164,26 +132,78 @@ class BlockCountPrototype(DecoderPrototype):
         self._key_of = key_of
         self._keys_per_run = int(keys_per_run)
         self._num_groups = int(needed.size)
+        group_sizes = np.bincount(group_of_key, minlength=self._num_groups)
+        width = int(group_sizes.max()) if group_sizes.size else 0
+        # (groups, width) table of key ids, padded with the sentinel key
+        # ``keys_per_run`` (the position table's extra always-_NEVER column).
+        gather = np.full((self._num_groups, width), self._keys_per_run, dtype=np.int64)
+        order = np.argsort(group_of_key, kind="stable")
+        starts = np.zeros(self._num_groups, dtype=np.int64)
+        np.cumsum(group_sizes[:-1], out=starts[1:])
+        slot = np.arange(order.size, dtype=np.int64) - np.repeat(starts, group_sizes)
+        gather[group_of_key[order], slot] = order
+        self._gather = gather
+        #: Groups sharing a ``needed`` value are partitioned together.
+        self._classes = [
+            (int(value), np.nonzero(needed == value)[0])
+            for value in np.unique(needed)
+        ]
+        #: A group that needs more distinct keys than it has can never be
+        #: reached; its order statistic would index out of the padded row.
+        self._impossible = np.nonzero(needed > group_sizes)[0]
 
     def decode_batch(
         self, received: ReceivedInput
     ) -> Tuple[np.ndarray, np.ndarray]:
         batch = ReceivedBatch.coerce(received)
         num_runs = batch.num_runs
+        table_width = self._keys_per_run + 1
+        chunk = max(1, _MAX_TABLE_ELEMENTS // table_width)
+        if num_runs > chunk:
+            decoded = np.zeros(num_runs, dtype=bool)
+            n_necessary = np.full(num_runs, NOT_DECODED, dtype=np.int64)
+            for start in range(0, num_runs, chunk):
+                stop = min(start + chunk, num_runs)
+                decoded[start:stop], n_necessary[start:stop] = self._decode_chunk(
+                    batch.slice(start, stop)
+                )
+            return decoded, n_necessary
+        return self._decode_chunk(batch)
+
+    def _decode_chunk(
+        self, batch: ReceivedBatch
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        num_runs = batch.num_runs
         B = self._num_groups
-        run_of, keys, positions = _first_occurrences(
-            batch, self._key_of, self._keys_per_run
-        )
-        groups = run_of * np.int64(B) + self._group_of_key[keys]
-        reached, threshold = _distinct_threshold_positions(
-            groups,
-            positions,
-            np.tile(self._needed, num_runs),
-            num_runs * B,
-        )
-        reached = reached.reshape(num_runs, B)
-        threshold = threshold.reshape(num_runs, B)
-        decoded = reached.all(axis=1)
+        table_width = self._keys_per_run + 1
+        first_position = np.full(num_runs * table_width, _NEVER, dtype=np.int64)
+        if batch.flat.size:
+            run_ids = np.repeat(
+                np.arange(num_runs, dtype=np.int64), batch.lengths
+            )
+            keys = self._key_of(batch.flat)
+            positions = np.arange(batch.flat.size, dtype=np.int64) - np.repeat(
+                batch.offsets, batch.lengths
+            )
+            cells = run_ids * np.int64(table_width) + keys
+            # Reversed scatter: duplicate keys collapse to their *first*
+            # arrival because the earliest store happens last.
+            first_position[cells[::-1]] = positions[::-1]
+        grouped = first_position.reshape(num_runs, table_width)[:, self._gather]
+        threshold = np.empty((num_runs, B), dtype=np.int64)
+        for needed, groups in self._classes:
+            # Clamped for malformed third-party inputs (needed beyond the
+            # group width is impossible and overwritten below; zero means
+            # trivially reached before any arrival).
+            kth = min(needed, grouped.shape[2]) - 1
+            if kth < 0:
+                threshold[:, groups] = -1
+                continue
+            statistic = np.partition(grouped[:, groups, :], kth, axis=2)
+            threshold[:, groups] = statistic[:, :, kth]
+        if self._impossible.size:
+            threshold[:, self._impossible] = _NEVER
+        decoded = (threshold < _NEVER).all(axis=1)
         n_necessary = np.full(num_runs, NOT_DECODED, dtype=np.int64)
         n_necessary[decoded] = threshold[decoded].max(axis=1) + 1
         return decoded, n_necessary

@@ -164,6 +164,31 @@ class KernelBackend(abc.ABC):
         the serial reference chain caps it.  Returns the new fill count.
         """
 
+    def fill_sojourns_batch(
+        self,
+        masks: np.ndarray,
+        states: np.ndarray,
+        gap_runs: np.ndarray,
+        burst_runs: np.ndarray,
+    ) -> np.ndarray:
+        """Expand one sojourn batch per run into the rows of ``masks``.
+
+        ``masks`` is ``(runs, count)``; ``states`` the per-run initial
+        states; ``gap_runs``/``burst_runs`` are ``(runs, batch)`` matrices
+        of drawn sojourn lengths.  Row ``i`` is filled exactly like
+        ``fill_sojourns(masks[i], 0, states[i], gap_runs[i],
+        burst_runs[i])``; rows whose batch does not cover ``count`` are
+        left partially filled (the caller continues them chain-style).
+        Returns the per-run fill counts.  Backends with a compiled batch
+        kernel override this to amortise the per-row call overhead.
+        """
+        filled = np.empty(masks.shape[0], dtype=np.int64)
+        for index in range(masks.shape[0]):
+            filled[index] = self.fill_sojourns(
+                masks[index], 0, bool(states[index]), gap_runs[index], burst_runs[index]
+            )
+        return filled
+
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"<{type(self).__name__} name={self.name!r}>"
 

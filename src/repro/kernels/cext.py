@@ -110,6 +110,18 @@ int64_t fill_sojourns(
     }
     return filled;
 }
+
+void fill_sojourns_batch(
+    uint8_t *masks, int64_t count, const uint8_t *states,
+    const int64_t *gap_runs, const int64_t *burst_runs,
+    int64_t num_runs, int64_t batch, int64_t *filled_out)
+{
+    for (int64_t run = 0; run < num_runs; run++) {
+        filled_out[run] = fill_sojourns(
+            masks + run * count, 0, count, states[run],
+            gap_runs + run * batch, burst_runs + run * batch, batch);
+    }
+}
 """
 
 _I64 = ctypes.POINTER(ctypes.c_int64)
@@ -183,6 +195,11 @@ def _load_library() -> ctypes.CDLL:
         _U8, ctypes.c_int64, ctypes.c_int64, ctypes.c_int,
         _I64, _I64, ctypes.c_int64,
     ]
+    lib.fill_sojourns_batch.restype = None
+    lib.fill_sojourns_batch.argtypes = [
+        _U8, ctypes.c_int64, _U8, _I64, _I64,
+        ctypes.c_int64, ctypes.c_int64, _I64,
+    ]
     return lib
 
 
@@ -253,6 +270,34 @@ class CExtBackend(KernelBackend):
                 int(gap_runs.shape[0]),
             )
         )
+
+    def fill_sojourns_batch(
+        self,
+        masks: np.ndarray,
+        states: np.ndarray,
+        gap_runs: np.ndarray,
+        burst_runs: np.ndarray,
+    ) -> np.ndarray:
+        # One C call fills every row: the per-row ctypes marshalling of the
+        # loop default (~20 us/run) is what this kernel exists to remove.
+        num_runs, count = masks.shape
+        filled = np.empty(num_runs, dtype=np.int64)
+        if not masks.flags.c_contiguous:  # pragma: no cover - caller allocates
+            return super().fill_sojourns_batch(masks, states, gap_runs, burst_runs)
+        if num_runs:
+            self._lib.fill_sojourns_batch(
+                # A view, not a copy: the C rows must land in the caller's
+                # array (bool and uint8 share the memory layout).
+                masks.view(np.uint8).ctypes.data_as(_U8),
+                int(count),
+                np.ascontiguousarray(states, dtype=np.uint8).ctypes.data_as(_U8),
+                _i64(gap_runs).ctypes.data_as(_I64),
+                _i64(burst_runs).ctypes.data_as(_I64),
+                int(num_runs),
+                int(gap_runs.shape[1]),
+                filled.ctypes.data_as(_I64),
+            )
+        return filled
 
 
 __all__ = ["CExtBackend", "compiler"]

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.channel.gilbert import GilbertChannel
 from repro.core.config import SimulationConfig
-from repro.core.metrics import RunResult
+from repro.core.metrics import RunResult, RunResultBatch
 from repro.core.simulator import Simulator
 
 #: Cell identifier inside one sweep: ``(i, j)`` for grids, ``(index,)`` for
@@ -189,9 +189,15 @@ def _run_rng(unit: WorkUnit, run: int) -> np.random.Generator:
     )
 
 
-def _unit_run_results(unit: WorkUnit) -> List["RunResult"]:
-    """Per-run outcomes of one unit, in run order."""
-    from repro.fastpath import simulate_batch
+def _unit_batch(unit: WorkUnit) -> RunResultBatch:
+    """Columnar outcomes of one unit, in run order.
+
+    The whole run range flows through the :mod:`repro.pipeline` batched
+    run-synthesis pipeline as arrays (fastpath) or is stacked from the
+    per-run reference results (``fastpath=False``); either way the cell
+    metrics are computed from columns, never from per-run objects.
+    """
+    from repro.fastpath import simulate_batch_columnar
 
     tx_model = unit.config.build_tx_model()
     channel = GilbertChannel(unit.p, unit.q)
@@ -203,7 +209,7 @@ def _unit_run_results(unit: WorkUnit) -> List["RunResult"]:
             # The whole run range is one vectorised batch: each run keeps
             # its own generator, so the batch is bit-identical to the
             # incremental loop below.
-            return simulate_batch(
+            return simulate_batch_columnar(
                 code,
                 tx_model,
                 channel,
@@ -212,17 +218,19 @@ def _unit_run_results(unit: WorkUnit) -> List["RunResult"]:
                 kernel=unit.kernel,
             )
         simulator = Simulator(code, tx_model, channel)
-        return [simulator.run(_run_rng(unit, run), nsent=unit.config.nsent) for run in runs]
+        return RunResultBatch.from_results(
+            [simulator.run(_run_rng(unit, run), nsent=unit.config.nsent) for run in runs]
+        )
 
     # Fresh code per run: the code must be drawn from the run generator
     # *before* the schedule, so each run is its own batch of one.
-    results: List[RunResult] = []
-    for run in runs:
-        run_rng = _run_rng(unit, run)
-        code = unit.config.build_code(seed=run_rng)
-        if unit.fastpath:
-            results.extend(
-                simulate_batch(
+    if unit.fastpath:
+        batches: List[RunResultBatch] = []
+        for run in runs:
+            run_rng = _run_rng(unit, run)
+            code = unit.config.build_code(seed=run_rng)
+            batches.append(
+                simulate_batch_columnar(
                     code,
                     tx_model,
                     channel,
@@ -231,32 +239,32 @@ def _unit_run_results(unit: WorkUnit) -> List["RunResult"]:
                     kernel=unit.kernel,
                 )
             )
-        else:
-            results.append(
-                Simulator(code, tx_model, channel).run(run_rng, nsent=unit.config.nsent)
-            )
-    return results
+        return RunResultBatch.concatenate(batches)
+    results: List[RunResult] = []
+    for run in runs:
+        run_rng = _run_rng(unit, run)
+        code = unit.config.build_code(seed=run_rng)
+        results.append(
+            Simulator(code, tx_model, channel).run(run_rng, nsent=unit.config.nsent)
+        )
+    return RunResultBatch.from_results(results)
 
 
 def execute_unit(unit: WorkUnit) -> UnitResult:
-    """Run every transmission of one unit and collect the raw outcomes."""
-    inefficiency_ratios: List[float] = []
-    received_ratios: List[float] = []
-    failures = 0
-    for result in _unit_run_results(unit):
-        received_ratios.append(result.received_ratio)
-        if result.decoded:
-            inefficiency_ratios.append(result.inefficiency_ratio)
-        else:
-            failures += 1
+    """Run every transmission of one unit and collect the raw outcomes.
 
+    The per-run ratio columns come straight off the unit's
+    :class:`~repro.core.metrics.RunResultBatch` -- two vectorised
+    divisions per unit instead of one property pair per run.
+    """
+    batch = _unit_batch(unit)
     return UnitResult(
         seed_path=unit.seed_path,
         run_start=unit.run_start,
         run_stop=unit.run_stop,
-        inefficiency_ratios=tuple(inefficiency_ratios),
-        received_ratios=tuple(received_ratios),
-        failures=failures,
+        inefficiency_ratios=tuple(batch.inefficiency_ratios().tolist()),
+        received_ratios=tuple(batch.received_ratios().tolist()),
+        failures=batch.failures,
     )
 
 

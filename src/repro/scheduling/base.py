@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -23,9 +23,45 @@ class TransmissionModel(abc.ABC):
     #: Registry name, e.g. ``"tx_model_2"``.
     name: str = "abstract"
 
+    #: Whether :meth:`schedule` draws from the generator.  Deterministic
+    #: models (``tx_model_1``, ``tx_model_5``) set this False, which lets
+    #: the batched pipeline compute their schedule once and broadcast it
+    #: over a work unit, and relaxes the draw-ordering constraints when
+    #: runs share one generator.
+    uses_rng: bool = True
+
     @abc.abstractmethod
     def schedule(self, layout: PacketLayout, rng: RandomState = None) -> np.ndarray:
         """Return the transmission order as an array of global packet indices."""
+
+    def schedule_batch(self, layout: PacketLayout, rngs: Sequence[RandomState]):
+        """Schedules for a whole work unit, one row per run.
+
+        Row ``i`` must be exactly what ``self.schedule(layout, rngs[i])``
+        would return, with the generators consumed in run order -- the
+        batched pipeline relies on this draw-identity, and the default
+        implementation guarantees it by calling :meth:`schedule` per run
+        (vectorising only the stacking).  Models whose schedules draw
+        nothing are computed once and broadcast (a read-only view).
+
+        Returns a ``(runs, length)`` ``int64`` array when every run's
+        schedule has the same length (all built-in models), or the list of
+        per-run arrays when lengths differ -- the generators are already
+        consumed either way, so the pipeline assembles ragged rows as-is
+        rather than re-drawing.
+        """
+        if not self.uses_rng:
+            template = np.asarray(self.schedule(layout, None), dtype=np.int64)
+            if template.ndim != 1:
+                return [template] * len(rngs)
+            return np.broadcast_to(template, (len(rngs), template.size))
+        rows = [
+            np.asarray(self.schedule(layout, rng), dtype=np.int64) for rng in rngs
+        ]
+        shapes = {row.shape for row in rows}
+        if len(shapes) != 1 or len(next(iter(shapes))) != 1:
+            return rows
+        return np.stack(rows)
 
     def description(self) -> str:
         """One-line human description (defaults to the class docstring)."""

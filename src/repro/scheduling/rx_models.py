@@ -8,6 +8,8 @@ interface and simulated over a perfect channel.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.fec.packet import PacketLayout
@@ -50,6 +52,25 @@ class RxModel1(TransmissionModel):
         parity = layout.parity_indices.copy()
         rng.shuffle(parity)
         return np.concatenate([chosen, parity])
+
+    def schedule_batch(
+        self, layout: PacketLayout, rngs: Sequence[RandomState]
+    ) -> np.ndarray:
+        count = min(self.num_source_packets, layout.k)
+        source = layout.source_indices
+        parity = layout.parity_indices
+        out = np.empty((len(rngs), count + parity.size), dtype=np.int64)
+        out[:, count:] = parity
+        if not self.pick_randomly:
+            out[:, :count] = source[:count]
+        # Serial draw order per run: the source subset is chosen first,
+        # then the parity stream is shuffled.
+        for row, rng in zip(out, rngs):
+            rng = ensure_rng(rng)
+            if self.pick_randomly and count:
+                row[:count] = rng.choice(source, size=count, replace=False)
+            rng.shuffle(row[count:])
+        return out
 
     def __repr__(self) -> str:
         return (

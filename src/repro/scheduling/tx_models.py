@@ -1,6 +1,18 @@
-"""The six transmission models evaluated in section 4 of the paper."""
+"""The six transmission models evaluated in section 4 of the paper.
+
+Every stochastic model also overrides
+:meth:`~repro.scheduling.base.TransmissionModel.schedule_batch` with a
+vectorised form: the whole work unit's schedules are assembled in one
+``(runs, length)`` allocation and only the generator draws themselves
+(shuffles and choices, which are per-generator by construction) remain in
+the per-run loop.  Each override consumes the generators exactly as the
+serial :meth:`schedule` does, so batch row ``i`` is bit-identical to a
+serial call with ``rngs[i]``.
+"""
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -15,6 +27,7 @@ class TxModel1(TransmissionModel):
     """Send source packets sequentially, then parity packets sequentially."""
 
     name = "tx_model_1"
+    uses_rng = False
 
     def schedule(self, layout: PacketLayout, rng: RandomState = None) -> np.ndarray:
         return np.concatenate([layout.source_indices, layout.parity_indices])
@@ -31,6 +44,17 @@ class TxModel2(TransmissionModel):
         rng.shuffle(parity)
         return np.concatenate([layout.source_indices, parity])
 
+    def schedule_batch(
+        self, layout: PacketLayout, rngs: Sequence[RandomState]
+    ) -> np.ndarray:
+        source = layout.source_indices
+        out = np.empty((len(rngs), layout.n), dtype=np.int64)
+        out[:, : source.size] = source
+        out[:, source.size :] = layout.parity_indices
+        for row, rng in zip(out, rngs):
+            ensure_rng(rng).shuffle(row[source.size :])
+        return out
+
 
 class TxModel3(TransmissionModel):
     """Send parity packets sequentially, then source packets in random order."""
@@ -42,6 +66,19 @@ class TxModel3(TransmissionModel):
         source = layout.source_indices.copy()
         rng.shuffle(source)
         return np.concatenate([layout.parity_indices, source])
+
+    def schedule_batch(
+        self, layout: PacketLayout, rngs: Sequence[RandomState]
+    ) -> np.ndarray:
+        parity = layout.parity_indices
+        out = np.empty((len(rngs), layout.n), dtype=np.int64)
+        out[:, : parity.size] = parity
+        out[:, parity.size :] = layout.source_indices
+        # Serial order: the source packets are shuffled *before* they are
+        # appended to the parity stream, so the draws match exactly.
+        for row, rng in zip(out, rngs):
+            ensure_rng(rng).shuffle(row[parity.size :])
+        return out
 
 
 class TxModel4(TransmissionModel):
@@ -55,6 +92,15 @@ class TxModel4(TransmissionModel):
         rng.shuffle(order)
         return order
 
+    def schedule_batch(
+        self, layout: PacketLayout, rngs: Sequence[RandomState]
+    ) -> np.ndarray:
+        out = np.empty((len(rngs), layout.n), dtype=np.int64)
+        out[:] = np.arange(layout.n, dtype=np.int64)
+        for row, rng in zip(out, rngs):
+            ensure_rng(rng).shuffle(row)
+        return out
+
 
 class TxModel5(TransmissionModel):
     """Interleave packets to spread each block / the parity stream over time.
@@ -66,6 +112,7 @@ class TxModel5(TransmissionModel):
     """
 
     name = "tx_model_5"
+    uses_rng = False
 
     def schedule(self, layout: PacketLayout, rng: RandomState = None) -> np.ndarray:
         if layout.num_blocks > 1:
@@ -100,6 +147,23 @@ class TxModel6(TransmissionModel):
         combined = np.concatenate([chosen, layout.parity_indices])
         rng.shuffle(combined)
         return combined
+
+    def schedule_batch(
+        self, layout: PacketLayout, rngs: Sequence[RandomState]
+    ) -> np.ndarray:
+        source = layout.source_indices
+        parity = layout.parity_indices
+        keep = int(round(self.source_fraction * source.size))
+        out = np.empty((len(rngs), keep + parity.size), dtype=np.int64)
+        out[:, keep:] = parity
+        # Serial draw order per run: the source subset is chosen first,
+        # then the combined stream is shuffled.
+        for row, rng in zip(out, rngs):
+            rng = ensure_rng(rng)
+            if keep > 0:
+                row[:keep] = rng.choice(source, size=keep, replace=False)
+            rng.shuffle(row)
+        return out
 
     def __repr__(self) -> str:
         return f"TxModel6(source_fraction={self.source_fraction})"

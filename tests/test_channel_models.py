@@ -111,3 +111,39 @@ class TestPeriodicBurst:
     def test_negative_burst_rejected(self):
         with pytest.raises(ValueError):
             PeriodicBurstChannel(5, -1)
+
+
+class TestLossMaskBatchContract:
+    """The batched face of every channel (exhaustive parity in test_pipeline)."""
+
+    def _rngs(self, runs=5):
+        return [
+            np.random.default_rng(np.random.SeedSequence([77, run]))
+            for run in range(runs)
+        ]
+
+    @pytest.mark.parametrize(
+        "channel",
+        [
+            BernoulliChannel(0.3),
+            PerfectChannel(),
+            PeriodicBurstChannel(6, 2, offset=1),
+            TraceChannel([1, 0, 0, 1, 1, 0, 0, 0]),
+            TraceChannel([1, 0, 0, 1, 1, 0, 0, 0], cyclic=False),
+            TraceChannel([1, 0, 0, 1, 1, 0, 0, 0], random_offset=True),
+        ],
+        ids=repr,
+    )
+    def test_batch_rows_match_serial_masks(self, channel):
+        for count in (0, 3, 50):
+            serial = np.stack(
+                [channel.loss_mask(count, rng) for rng in self._rngs()]
+            ).reshape(len(self._rngs()), count)
+            batch = channel.loss_mask_batch(count, self._rngs())
+            assert np.array_equal(np.asarray(batch), serial)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliChannel(0.2).loss_mask_batch(-1, self._rngs())
+        with pytest.raises(ValueError):
+            TraceChannel([1, 0], random_offset=True).loss_mask_batch(-2, self._rngs())

@@ -191,3 +191,45 @@ class TestInterleavers:
         assert proportional_interleave(np.array([]), np.array([])).size == 0
         only_second = proportional_interleave(np.array([]), np.array([5, 6]))
         assert only_second.tolist() == [5, 6]
+
+
+class TestScheduleBatchContract:
+    """The batched face of every model (exhaustive parity in test_pipeline)."""
+
+    def _rngs(self, runs=4):
+        return [
+            np.random.default_rng(np.random.SeedSequence([55, run]))
+            for run in range(runs)
+        ]
+
+    def test_every_builtin_model_batches_uniform_rows(self, ldgm_layout):
+        models = [TxModel1(), TxModel2(), TxModel3(), TxModel4(), TxModel5(),
+                  TxModel6(0.2), RxModel1(num_source_packets=13)]
+        for model in models:
+            batch = model.schedule_batch(ldgm_layout, self._rngs())
+            assert isinstance(batch, np.ndarray) and batch.ndim == 2
+            rows = [model.schedule(ldgm_layout, rng) for rng in self._rngs()]
+            for index, row in enumerate(rows):
+                assert np.array_equal(batch[index], row), type(model).__name__
+
+    def test_uses_rng_flags(self):
+        assert not TxModel1().uses_rng
+        assert not TxModel5().uses_rng
+        for model in (TxModel2(), TxModel3(), TxModel4(), TxModel6(), RxModel1(5)):
+            assert model.uses_rng
+
+    def test_interleavers_match_retained_references(self, rse_layout, ldgm_layout):
+        from repro.scheduling.interleaver import (
+            _block_interleave_reference,
+            _proportional_interleave_reference,
+        )
+
+        assert np.array_equal(
+            block_interleave(rse_layout), _block_interleave_reference(rse_layout)
+        )
+        first = ldgm_layout.source_indices
+        second = ldgm_layout.parity_indices
+        assert np.array_equal(
+            proportional_interleave(first, second),
+            _proportional_interleave_reference(first, second),
+        )
