@@ -49,6 +49,7 @@ from repro.fastpath import simulate_batch, simulate_batch_columnar
 from repro.fec.registry import make_code
 from repro.kernels import available_backends, default_backend_name
 from repro.scheduling.registry import make_tx_model
+from repro.seeds import get_scheme
 
 #: Code families benchmarked (name, expansion ratio).  Repetition needs an
 #: integer ratio; everything else uses the paper's 2.5.
@@ -73,9 +74,12 @@ BATCH_RUNS = 960
 #: regenerable CSV output and is gitignored; the trajectory is not).
 BENCH_JSON = Path(__file__).parent / "BENCH.json"
 
-#: Current ledger schema: 2 adds per-kernel throughput columns and the
-#: numba / C-compiler provenance fields.
-BENCH_SCHEMA = 2
+#: Current ledger schema: 3 adds per-seed-scheme throughput columns
+#: (``unit_runs_per_sec*``: the counter-based unit scheme of
+#: :mod:`repro.seeds`, which draws a whole batch's randomness as blocks
+#: from one Philox generator) on top of schema 2's per-kernel columns and
+#: numba / C-compiler provenance.
+BENCH_SCHEMA = 3
 
 
 def _bench_kernels() -> list[str]:
@@ -93,6 +97,17 @@ def _rngs(count: int):
         np.random.default_rng(np.random.SeedSequence([BENCH_SEED, run]))
         for run in range(count)
     ]
+
+
+def _unit_streams(count: int):
+    """Whole-batch streams under the counter-based unit seed scheme.
+
+    Stream construction stays inside the timed region, mirroring the
+    per-run measurement (whose generator construction is also timed) --
+    that per-run construction cost is part of what the unit scheme
+    removes.
+    """
+    return get_scheme("unit").unit_streams(BENCH_SEED, (), 0, count)
 
 
 def _measure(family: str, ratio: float, kernels: list[str]) -> dict:
@@ -118,7 +133,24 @@ def _measure(family: str, ratio: float, kernels: list[str]) -> dict:
         elapsed = time.perf_counter() - started
         best_serial = max(best_serial, SERIAL_RUNS / elapsed)
 
+    # Unit-scheme determinism gate: identical streams, identical results.
+    unit_reference = simulate_batch_columnar(
+        code, tx_model, channel, _unit_streams(20), kernel=kernels[0]
+    )
+    for kernel in kernels:
+        repeated = simulate_batch_columnar(
+            code, tx_model, channel, _unit_streams(20), kernel=kernel
+        )
+        if not (
+            np.array_equal(repeated.n_necessary, unit_reference.n_necessary)
+            and np.array_equal(repeated.n_received, unit_reference.n_received)
+        ):
+            raise AssertionError(
+                f"unit scheme[{kernel}] is not deterministic for {family}"
+            )
+
     by_kernel: dict[str, float] = {}
+    unit_by_kernel: dict[str, float] = {}
     for kernel in kernels:
         simulate_batch_columnar(code, tx_model, channel, _rngs(8), kernel=kernel)  # warm
         best = 0.0
@@ -131,10 +163,21 @@ def _measure(family: str, ratio: float, kernels: list[str]) -> dict:
             best = max(best, BATCH_RUNS / elapsed)
         by_kernel[kernel] = round(best, 1)
 
+        best_unit = 0.0
+        for _ in range(2):
+            started = time.perf_counter()
+            simulate_batch_columnar(
+                code, tx_model, channel, _unit_streams(BATCH_RUNS), kernel=kernel
+            )
+            elapsed = time.perf_counter() - started
+            best_unit = max(best_unit, BATCH_RUNS / elapsed)
+        unit_by_kernel[kernel] = round(best_unit, 1)
+
     headline_kernel = default_backend_name()
     if headline_kernel not in by_kernel:
         headline_kernel = "numpy"
     headline = by_kernel[headline_kernel]
+    unit_headline = unit_by_kernel[headline_kernel]
     return {
         "code": family,
         "expansion_ratio": ratio,
@@ -142,6 +185,9 @@ def _measure(family: str, ratio: float, kernels: list[str]) -> dict:
         "fastpath_runs_per_sec": headline,
         "kernel": headline_kernel,
         "fastpath_runs_per_sec_by_kernel": by_kernel,
+        "unit_runs_per_sec": unit_headline,
+        "unit_runs_per_sec_by_kernel": unit_by_kernel,
+        "unit_speedup_vs_per_run": round(unit_headline / headline, 2),
         "speedup": round(headline / best_serial, 2),
     }
 
@@ -228,6 +274,14 @@ def main() -> int:
         print(
             f"  {row['code']:16s} serial {row['serial_runs_per_sec']:8.1f} runs/s   "
             f"{per_kernel}   [{row['kernel']}] speedup {row['speedup']:6.2f}x"
+        )
+        per_kernel_unit = "   ".join(
+            f"{name} {rate:8.1f}"
+            for name, rate in row["unit_runs_per_sec_by_kernel"].items()
+        )
+        print(
+            f"  {'':16s} unit scheme:              {per_kernel_unit}   "
+            f"({row['unit_speedup_vs_per_run']:.2f}x vs per-run)"
         )
     destination = append_to_bench_json(entry)
     print(f"recorded in {destination}")

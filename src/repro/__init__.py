@@ -30,6 +30,12 @@ The package is organised as a set of small, composable subsystems:
     (``loss_mask_batch``) and received-batch assembly as arrays, with
     columnar ``RunResultBatch`` results -- bit-identical to the per-run
     front end for any seed.
+``repro.seeds``
+    The versioned seed-scheme subsystem: run-stream derivation as a
+    first-class strategy object.  ``"per-run"`` (default) reproduces the
+    historical ``SeedSequence``-per-run streams bit-for-bit; ``"unit"``
+    derives one counter-based Philox generator per work unit so the
+    stochastic stages draw whole ``(runs, n)`` blocks in one call.
 ``repro.runner``
     The parallel experiment-execution engine: deterministic work-unit
     sharding, serial / process-pool executors, the resumable on-disk
@@ -76,8 +82,9 @@ from repro.fastpath import simulate_batch, simulate_batch_columnar
 from repro.pipeline import synthesize_runs
 from repro.runner import ProcessExecutor, ResultCache, SerialExecutor, run_grid
 from repro.scheduling import make_tx_model
+from repro.seeds import available_schemes, get_scheme
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BernoulliChannel",
@@ -101,5 +108,7 @@ __all__ = [
     "simulate_batch",
     "simulate_batch_columnar",
     "synthesize_runs",
+    "available_schemes",
+    "get_scheme",
     "__version__",
 ]

@@ -70,6 +70,35 @@ class LossModel(abc.ABC):
             row[:] = self.loss_mask(count, ensure_rng(rng), kernel=kernel)
         return masks
 
+    def loss_mask_batch_unit(
+        self,
+        count: int,
+        rng: RandomState,
+        runs: int,
+        *,
+        kernel=None,
+    ) -> np.ndarray:
+        """Loss masks for a whole work unit drawn from ONE shared generator.
+
+        The ``"unit"`` seed scheme's entry point (:mod:`repro.seeds`):
+        every run's mask comes from the single unit generator, so overrides
+        draw whole ``(runs, count)`` blocks in one call (a uniform matrix
+        for Bernoulli, block geometrics plus one sojourn-fill kernel call
+        for Gilbert).  Rows must be distributed exactly like
+        :meth:`loss_mask` results and the draw order must be deterministic
+        for a given generator state; block draws are *not* bit-identical to
+        per-run calls -- the unit scheme defines its streams by this
+        method's draw order.  The default loops :meth:`loss_mask` over the
+        shared generator so duck-typed models work unchanged.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        rng = ensure_rng(rng)
+        masks = np.empty((runs, count), dtype=bool)
+        for row in masks:
+            row[:] = self.loss_mask(count, rng, kernel=kernel)
+        return masks
+
     def reception_mask(self, count: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Complement of :meth:`loss_mask`: ``True`` marks a received packet."""
         return ~self.loss_mask(count, rng)

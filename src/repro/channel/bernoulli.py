@@ -68,6 +68,23 @@ class BernoulliChannel(LossModel):
             ensure_rng(rng).random(out=row)
         return draws < self.loss_rate
 
+    def loss_mask_batch_unit(
+        self,
+        count: int,
+        rng,
+        runs: int,
+        *,
+        kernel=None,
+    ) -> np.ndarray:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if self.loss_rate == 0.0:
+            return np.broadcast_to(np.zeros(count, dtype=bool), (runs, count))
+        if self.loss_rate == 1.0:
+            return np.broadcast_to(np.ones(count, dtype=bool), (runs, count))
+        # The whole unit's uniforms in ONE draw from the shared generator.
+        return ensure_rng(rng).random((runs, count)) < self.loss_rate
+
     def __repr__(self) -> str:
         return f"BernoulliChannel(loss_rate={self.loss_rate})"
 
@@ -100,6 +117,16 @@ class PerfectChannel(LossModel):
         kernel=None,
     ) -> np.ndarray:
         return np.broadcast_to(self.loss_mask(count), (len(rngs), count))
+
+    def loss_mask_batch_unit(
+        self,
+        count: int,
+        rng,
+        runs: int,
+        *,
+        kernel=None,
+    ) -> np.ndarray:
+        return np.broadcast_to(self.loss_mask(count), (runs, count))
 
     def __repr__(self) -> str:
         return "PerfectChannel()"

@@ -200,6 +200,56 @@ class GilbertChannel(LossModel):
                 )
         return masks
 
+    def loss_mask_batch_unit(
+        self,
+        count: int,
+        rng,
+        runs: int,
+        *,
+        kernel: KernelSpec = None,
+    ) -> np.ndarray:
+        """One mask per run, all sojourns drawn from ONE shared generator.
+
+        The ``"unit"`` seed scheme's block path (:mod:`repro.seeds`): the
+        per-run pre-draw loop of :meth:`loss_mask_batch` disappears
+        entirely.  Initial states come from one ``(runs,)`` uniform draw,
+        the first sojourn batch of *every* run from two ``(runs, batch)``
+        geometric draws, and the whole block is expanded by a single
+        ``fill_sojourns_batch`` kernel call with per-row fill offsets; only
+        the rare rows whose first batch falls short of ``count`` continue
+        chain-style (in row order, so the draw order stays deterministic).
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if self.p == 0.0:
+            return np.broadcast_to(np.zeros(count, dtype=bool), (runs, count))
+        if self.q == 0.0:
+            return np.broadcast_to(np.ones(count, dtype=bool), (runs, count))
+        masks = np.empty((runs, count), dtype=bool)
+        if count == 0 or runs == 0:
+            return masks
+        rng = ensure_rng(rng)
+        backend = get_backend(kernel)
+        batch_size = self._SOJOURN_BATCH
+        states = rng.random(runs) < self.global_loss_probability
+        gap_runs = rng.geometric(self.p, size=(runs, batch_size))
+        burst_runs = rng.geometric(self.q, size=(runs, batch_size))
+        filled = backend.fill_sojourns_batch(masks, states, gap_runs, burst_runs)
+        # Unlike loss_mask_batch, the continuation draws here come *after*
+        # the fill (one shared generator, no per-run ordering to
+        # preserve), so the kernel's fill counts directly identify the
+        # rare rows whose first batch fell short.
+        for index in np.flatnonzero(filled < count):
+            row, row_filled = masks[index], int(filled[index])
+            in_loss_state = bool(states[index])
+            while row_filled < count:
+                gap = rng.geometric(self.p, size=batch_size)
+                burst = rng.geometric(self.q, size=batch_size)
+                row_filled = backend.fill_sojourns(
+                    row, row_filled, in_loss_state, gap, burst
+                )
+        return masks
+
     def _fill_mask(
         self, mask: np.ndarray, rng: np.random.Generator, backend
     ) -> None:

@@ -57,6 +57,16 @@ class PeriodicBurstChannel(LossModel):
     ) -> np.ndarray:
         return np.broadcast_to(self.loss_mask(count), (len(rngs), count))
 
+    def loss_mask_batch_unit(
+        self,
+        count: int,
+        rng: RandomState,
+        runs: int,
+        *,
+        kernel=None,
+    ) -> np.ndarray:
+        return np.broadcast_to(self.loss_mask(count), (runs, count))
+
     def __repr__(self) -> str:
         return (
             f"PeriodicBurstChannel(period={self.period}, "

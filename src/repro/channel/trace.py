@@ -99,10 +99,32 @@ class TraceChannel(LossModel):
         )
         if count == 0:
             return np.zeros((runs, 0), dtype=bool)
+        return self._replay(offsets, count)
+
+    def loss_mask_batch_unit(
+        self,
+        count: int,
+        rng: RandomState,
+        runs: int,
+        *,
+        kernel=None,
+    ) -> np.ndarray:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if not self.random_offset:
+            return np.broadcast_to(self.loss_mask(count), (runs, count))
+        # All per-run offsets in ONE draw from the shared unit generator.
+        offsets = ensure_rng(rng).integers(self.trace.size, size=runs)
+        if count == 0:
+            return np.zeros((runs, 0), dtype=bool)
+        return self._replay(offsets.astype(np.int64), count)
+
+    def _replay(self, offsets: np.ndarray, count: int) -> np.ndarray:
+        """Gather the trace at one offset per run (shared batch tail)."""
         positions = offsets[:, None] + np.arange(count, dtype=np.int64)
         if self.cyclic:
             return self.trace[positions % self.trace.size]
-        masks = np.zeros((runs, count), dtype=bool)
+        masks = np.zeros((offsets.size, count), dtype=bool)
         in_trace = positions < self.trace.size
         masks[in_trace] = self.trace[positions[in_trace]]
         return masks

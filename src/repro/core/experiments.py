@@ -280,6 +280,7 @@ def run_experiment(
     cache: CacheSpec = None,
     fastpath: bool = True,
     kernel: Optional[str] = None,
+    seed_scheme=None,
     progress_factory: Optional[ProgressFactory] = None,
 ) -> Dict[str, GridResult]:
     """Run every configuration of an experiment and return grids by label.
@@ -293,10 +294,11 @@ def run_experiment(
         :class:`ExperimentScale`.
     runs:
         Override the scale's number of runs per grid point.
-    executor, workers, cache:
-        Execution and caching knobs forwarded to
+    executor, workers, cache, seed_scheme:
+        Execution, caching and seeding knobs forwarded to
         :func:`repro.core.sweep.simulate_grid`; by default the serial
-        executor is used unless ``workers > 1`` selects the process pool.
+        executor is used unless ``workers > 1`` selects the process pool,
+        and the seed scheme resolves ``REPRO_SEED_SCHEME`` / ``"per-run"``.
     progress_factory:
         Called with the 1-based index of each configuration before its
         sweep; returns that sweep's ``(done, total)`` progress callback.
@@ -321,6 +323,7 @@ def run_experiment(
             cache=cache,
             fastpath=fastpath,
             kernel=kernel,
+            seed_scheme=seed_scheme,
         )
         results[config.display_label] = grid
     return results

@@ -103,6 +103,39 @@ class Simulator:
             n=self.code.n,
         )
 
+    def _batch_streams(self, runs: int, rng: RandomState, seed_scheme):
+        """Resolve what :meth:`run_many`/:meth:`run_batch` should draw from.
+
+        ``seed_scheme=None`` keeps the historical contract -- one shared
+        generator consumed sequentially across the batch, regardless of any
+        ``REPRO_SEED_SCHEME`` environment default.  An explicit scheme
+        derives the batch's streams from the seed with an empty cell path,
+        i.e. run ``r`` of the per-run scheme draws from
+        ``SeedSequence([seed, r])``.  A ``Generator`` seed is collapsed
+        through four 63-bit draws (not ``as_seed_int``'s single 31-bit
+        one, whose narrow space risks whole-batch stream collisions).
+        """
+        if seed_scheme is None:
+            return [ensure_rng(rng)] * runs
+        from repro.seeds import get_scheme
+        from repro.utils.rng import as_seed_int
+
+        if isinstance(rng, np.random.Generator):
+            entropy = [int(word) for word in rng.integers(0, 2**63 - 1, size=4)]
+            base_seed = int(
+                np.random.SeedSequence(entropy).generate_state(1, dtype=np.uint64)[0]
+            )
+        elif rng is None:
+            # Fresh entropy, matching ``rng=None``'s meaning everywhere
+            # else (as_seed_int would collapse None to the constant 0,
+            # silently repeating the same "random" batch on every call).
+            base_seed = int(
+                np.random.SeedSequence().generate_state(1, dtype=np.uint64)[0]
+            )
+        else:
+            base_seed = as_seed_int(rng)
+        return get_scheme(seed_scheme).unit_streams(base_seed, (), 0, runs)
+
     def run_many(
         self,
         runs: int,
@@ -111,6 +144,7 @@ class Simulator:
         *,
         fastpath: bool = True,
         kernel: Optional[str] = None,
+        seed_scheme=None,
     ) -> list[RunResult]:
         """Simulate ``runs`` independent transmissions.
 
@@ -119,8 +153,45 @@ class Simulator:
         incremental loop for any seed; ``fastpath=False`` keeps the
         per-packet reference path.  ``kernel`` selects the
         :mod:`repro.kernels` backend for the batch decode (name or backend
-        instance; default: ``REPRO_KERNEL`` / auto).
+        instance; default: ``REPRO_KERNEL`` / auto).  ``seed_scheme``
+        optionally derives the batch's streams through a named
+        :mod:`repro.seeds` scheme instead of consuming ``rng``
+        sequentially; ``fastpath=False`` then decodes the scheme-defined
+        front end with the incremental reference decoder (bit-identical
+        to the fast path within each scheme).
         """
+        if seed_scheme is not None:
+            streams = self._batch_streams(runs, rng, seed_scheme)
+            if fastpath:
+                from repro.fastpath import simulate_batch
+
+                return simulate_batch(
+                    self.code,
+                    self.tx_model,
+                    self.channel,
+                    streams,
+                    nsent=nsent,
+                    kernel=kernel,
+                )
+            if streams.unit_rng is not None:
+                # Unit-batching scheme: same scheme-defined front end as
+                # the fast path, incremental reference decode.
+                from repro.fastpath import decode_batch_incremental
+                from repro.pipeline.synthesis import synthesize_runs_unit
+
+                synthesis = synthesize_runs_unit(
+                    self.code.layout,
+                    self.tx_model,
+                    self.channel,
+                    streams.unit_rng,
+                    streams.runs,
+                    nsent=nsent,
+                    kernel=kernel,
+                )
+                return decode_batch_incremental(self.code, synthesis).to_results()
+            return [
+                self.run(run_rng, nsent=nsent) for run_rng in streams.run_rngs()
+            ]
         rng = ensure_rng(rng)
         if fastpath:
             from repro.fastpath import simulate_batch
@@ -142,6 +213,7 @@ class Simulator:
         nsent: Optional[int] = None,
         *,
         kernel: Optional[str] = None,
+        seed_scheme=None,
     ) -> RunResultBatch:
         """Simulate ``runs`` independent transmissions, returning columns.
 
@@ -149,7 +221,10 @@ class Simulator:
         through the :mod:`repro.pipeline` run-synthesis pipeline and comes
         back as one :class:`~repro.core.metrics.RunResultBatch` (one array
         per metric) -- bit-identical to ``run_many(runs, rng, nsent)`` for
-        any seed, without materialising per-run result objects.
+        any seed, without materialising per-run result objects.  An
+        explicit ``seed_scheme`` derives the streams through
+        :mod:`repro.seeds` instead (the ``"unit"`` scheme draws the whole
+        batch's randomness as blocks from one counter-based generator).
         """
         from repro.fastpath import simulate_batch_columnar
 
@@ -157,7 +232,7 @@ class Simulator:
             self.code,
             self.tx_model,
             self.channel,
-            [ensure_rng(rng)] * runs,
+            self._batch_streams(runs, rng, seed_scheme),
             nsent=nsent,
             kernel=kernel,
         )

@@ -26,6 +26,7 @@ from repro.runner.engine import (
     run_grid,
     run_series,
 )
+from repro.seeds import SchemeSpec
 from repro.utils.rng import RandomState
 
 
@@ -43,6 +44,7 @@ def simulate_grid(
     cache: CacheSpec = None,
     fastpath: bool = True,
     kernel: Optional[str] = None,
+    seed_scheme: SchemeSpec = None,
 ) -> GridResult:
     """Sweep the Gilbert (p, q) grid for one configuration.
 
@@ -85,6 +87,13 @@ def simulate_grid(
         (``"numpy"``, ``"numba"``, ``"cext"``, ``"python"``; default
         resolves ``REPRO_KERNEL`` / auto = numba > cext > numpy).
         Bit-identical across backends.
+    seed_scheme:
+        :mod:`repro.seeds` scheme deriving the per-run streams
+        (``"per-run"`` reproduces the historical streams bit-for-bit;
+        ``"unit"`` batches a whole work unit's draws from one
+        counter-based generator -- deterministic, but a *different*
+        stream, so it keys the result cache separately).  ``None``
+        resolves ``REPRO_SEED_SCHEME`` / ``"per-run"``.
     """
     return run_grid(
         config,
@@ -99,6 +108,7 @@ def simulate_grid(
         cache=cache,
         fastpath=fastpath,
         kernel=kernel,
+        seed_scheme=seed_scheme,
     )
 
 
@@ -118,6 +128,7 @@ def sweep_parameter(
     cache: CacheSpec = None,
     fastpath: bool = True,
     kernel: Optional[str] = None,
+    seed_scheme: SchemeSpec = None,
     label: str = "",
 ) -> SeriesResult:
     """Sweep an arbitrary scalar parameter at a fixed (p, q) point.
@@ -142,8 +153,8 @@ def sweep_parameter(
         Rebuild the FEC code from the run stream for every run.
     progress:
         Optional callback ``(done_points, total_points)``.
-    executor, workers, cache, fastpath, kernel:
-        Execution/caching knobs, as in :func:`simulate_grid`.
+    executor, workers, cache, fastpath, kernel, seed_scheme:
+        Execution/caching/seeding knobs, as in :func:`simulate_grid`.
     """
     values = [float(value) for value in parameter_values]
     configs = [make_config(value) for value in values]
@@ -162,6 +173,7 @@ def sweep_parameter(
         cache=cache,
         fastpath=fastpath,
         kernel=kernel,
+        seed_scheme=seed_scheme,
         label=label,
     )
 

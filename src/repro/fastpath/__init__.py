@@ -27,6 +27,7 @@ either way).
 
 from repro.fastpath.batch import (
     MAX_STACKED_EDGES,
+    decode_batch_incremental,
     simulate_batch,
     simulate_batch_columnar,
 )
@@ -44,6 +45,7 @@ from repro.fastpath.prototypes import (
 __all__ = [
     "simulate_batch",
     "simulate_batch_columnar",
+    "decode_batch_incremental",
     "MAX_STACKED_EDGES",
     "NOT_DECODED",
     "ReceivedBatch",

@@ -16,7 +16,7 @@ on top of it.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -30,7 +30,8 @@ from repro.fastpath.prototypes import (
 )
 from repro.fec.base import FECCode
 from repro.kernels import KernelSpec, get_backend
-from repro.pipeline.synthesis import synthesize_runs
+from repro.pipeline.synthesis import synthesize_runs, synthesize_runs_unit
+from repro.seeds import UnitStreams
 from repro.utils.rng import RandomState
 
 #: Upper bound on ``runs x edges`` stacked into one LDGM peeling probe;
@@ -57,7 +58,7 @@ def simulate_batch_columnar(
     code: FECCode,
     tx_model,
     channel: LossModel,
-    rngs: Sequence[RandomState],
+    rngs: Union[Sequence[RandomState], UnitStreams],
     *,
     nsent: Optional[int] = None,
     kernel: KernelSpec = None,
@@ -65,16 +66,41 @@ def simulate_batch_columnar(
     """Simulate one transmission per generator in ``rngs``, fully columnar.
 
     ``rngs`` may contain distinct generators (one independent stream per
-    run, the runner's scheme) or the same generator repeated (``run_many``'s
-    sequential consumption) -- either way the draws happen in the exact
-    order of the incremental path.  ``kernel`` selects the
+    run, the runner's per-run scheme) or the same generator repeated
+    (``run_many``'s sequential consumption) -- either way the draws happen
+    in the exact order of the incremental path.  It may also be a
+    :class:`repro.seeds.UnitStreams` carrying a whole-unit generator (the
+    counter-based ``"unit"`` scheme), in which case the front end is
+    synthesised by the unconditional block-draw path of
+    :func:`repro.pipeline.synthesize_runs_unit`.  ``kernel`` selects the
     :mod:`repro.kernels` backend for the decode hot loops and the Gilbert
     sojourn fill (default: ``REPRO_KERNEL`` / auto).
     """
     backend = get_backend(kernel)
-    synthesis = synthesize_runs(
-        code.layout, tx_model, channel, rngs, nsent=nsent, kernel=backend
-    )
+    if isinstance(rngs, UnitStreams):
+        if rngs.unit_rng is not None:
+            synthesis = synthesize_runs_unit(
+                code.layout,
+                tx_model,
+                channel,
+                rngs.unit_rng,
+                rngs.runs,
+                nsent=nsent,
+                kernel=backend,
+            )
+        else:
+            synthesis = synthesize_runs(
+                code.layout,
+                tx_model,
+                channel,
+                rngs.run_rngs(),
+                nsent=nsent,
+                kernel=backend,
+            )
+    else:
+        synthesis = synthesize_runs(
+            code.layout, tx_model, channel, rngs, nsent=nsent, kernel=backend
+        )
     prototype = compile_prototype(code, backend)
     batch = synthesis.batch
     runs = batch.num_runs
@@ -96,11 +122,44 @@ def simulate_batch_columnar(
     )
 
 
+def decode_batch_incremental(code: FECCode, synthesis) -> RunResultBatch:
+    """Incremental symbolic decode of an already-synthesised front end.
+
+    The ``fastpath=False`` reference path for scheme-defined (block-drawn)
+    front ends: the pre-decode arrays come from the synthesis pipeline, so
+    only the decoder differs from :func:`simulate_batch_columnar` -- and
+    the incremental decoder is the reference the batch decoders are proven
+    bit-identical against.
+    """
+    results: List[RunResult] = []
+    for index, received in enumerate(synthesis.batch.sequences()):
+        decoder = code.new_symbolic_decoder()
+        add_packet = decoder.add_packet
+        n_necessary: Optional[int] = None
+        count = 0
+        for packet in received:
+            count += 1
+            if add_packet(packet):
+                n_necessary = count
+                break
+        results.append(
+            RunResult(
+                decoded=decoder.is_complete,
+                n_necessary=n_necessary,
+                n_received=int(received.size),
+                n_sent=int(synthesis.n_sent[index]),
+                k=code.k,
+                n=code.n,
+            )
+        )
+    return RunResultBatch.from_results(results)
+
+
 def simulate_batch(
     code: FECCode,
     tx_model,
     channel: LossModel,
-    rngs: Sequence[RandomState],
+    rngs: Union[Sequence[RandomState], UnitStreams],
     *,
     nsent: Optional[int] = None,
     kernel: KernelSpec = None,
@@ -116,4 +175,9 @@ def simulate_batch(
     ).to_results()
 
 
-__all__ = ["simulate_batch", "simulate_batch_columnar", "MAX_STACKED_EDGES"]
+__all__ = [
+    "simulate_batch",
+    "simulate_batch_columnar",
+    "decode_batch_incremental",
+    "MAX_STACKED_EDGES",
+]

@@ -27,6 +27,7 @@ from repro.pipeline.synthesis import (
     SynthesizedRuns,
     can_batch_stages,
     synthesize_runs,
+    synthesize_runs_unit,
 )
 
 
@@ -49,6 +50,7 @@ def simulate_unit(code, tx_model, channel, rngs, *, nsent=None, kernel=None):
 __all__ = [
     "SynthesizedRuns",
     "synthesize_runs",
+    "synthesize_runs_unit",
     "can_batch_stages",
     "simulate_unit",
 ]

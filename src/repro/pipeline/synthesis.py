@@ -167,8 +167,16 @@ def _synthesize_batched(
         schedules = schedules.astype(np.int64)
     if nsent is not None:
         schedules = schedules[:, :nsent]
-    runs, width = schedules.shape
+    width = schedules.shape[1]
     loss = channel.loss_mask_batch(width, rngs, kernel=kernel)
+    return _assemble_dense(layout, schedules, loss)
+
+
+def _assemble_dense(
+    layout: PacketLayout, schedules: np.ndarray, loss: np.ndarray
+) -> SynthesizedRuns:
+    """Gather a dense ``(runs, width)`` schedule/loss pair into a batch."""
+    runs, width = schedules.shape
     kept = ~np.asarray(loss, dtype=bool)
     lengths = kept.sum(axis=1, dtype=np.int64)
     offsets = np.zeros(runs, dtype=np.int64)
@@ -181,6 +189,70 @@ def _synthesize_batched(
     return SynthesizedRuns(
         batch=ReceivedBatch(flat=flat, offsets=offsets, lengths=lengths),
         n_sent=np.full(runs, width, dtype=np.int64),
+    )
+
+
+def synthesize_runs_unit(
+    layout: PacketLayout,
+    tx_model,
+    channel: LossModel,
+    rng: RandomState,
+    runs: int,
+    *,
+    nsent: Optional[int] = None,
+    kernel: KernelSpec = None,
+) -> SynthesizedRuns:
+    """Whole-unit synthesis from ONE shared generator (the unit seed scheme).
+
+    The counterpart of :func:`synthesize_runs` for the ``"unit"`` scheme
+    of :mod:`repro.seeds`: every run's randomness comes from the single
+    counter-based unit generator, so stage-major batching is
+    *unconditional* -- there is no shared-generator fallback loop, because
+    the scheme's streams are **defined** by this function's block-draw
+    order (all schedules first, then all loss masks).  Models without the
+    ``*_batch_unit`` APIs degrade to deterministic per-run draws from the
+    shared generator, stage by stage.
+    """
+    if nsent is not None:
+        nsent = validate_positive_int(nsent, "nsent")
+    if runs < 0:
+        raise ValueError(f"runs must be non-negative, got {runs}")
+    if runs == 0:
+        return _empty_synthesis()
+    rng = ensure_rng(rng)
+    backend = get_backend(kernel)
+
+    if getattr(tx_model, "schedule_batch_unit", None) is not None:
+        schedules = tx_model.schedule_batch_unit(layout, rng, runs)
+    else:
+        schedules = [
+            np.asarray(tx_model.schedule(layout, rng), dtype=np.int64)
+            for _ in range(runs)
+        ]
+    if isinstance(schedules, np.ndarray) and schedules.ndim == 2:
+        if schedules.dtype != np.int64:
+            schedules = schedules.astype(np.int64)
+        if nsent is not None:
+            schedules = schedules[:, :nsent]
+        width = schedules.shape[1]
+        if getattr(channel, "loss_mask_batch_unit", None) is not None:
+            loss = channel.loss_mask_batch_unit(width, rng, runs, kernel=backend)
+        else:
+            loss = np.empty((runs, width), dtype=bool)
+            for row in loss:
+                row[:] = channel.loss_mask(width, rng, kernel=backend)
+        return _assemble_dense(layout, schedules, loss)
+
+    # Ragged schedule lengths: the schedules are already drawn, so per-run
+    # loss masks follow in row order from the same shared generator.
+    return _assemble_ragged(
+        layout,
+        tx_model,
+        channel,
+        schedules,
+        [rng] * len(schedules),
+        nsent=nsent,
+        kernel=backend,
     )
 
 
@@ -252,5 +324,6 @@ def _synthesize_interleaved(
 __all__ = [
     "SynthesizedRuns",
     "synthesize_runs",
+    "synthesize_runs_unit",
     "can_batch_stages",
 ]

@@ -19,19 +19,29 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
+from collections import Counter
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.core.config import SimulationConfig
 from repro.runner.units import UnitResult, WorkUnit
+from repro.seeds import get_scheme
 
 #: Default cache root, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
 
-#: Bump when the unit result format or the seed scheme changes.
-CACHE_FORMAT_VERSION = 1
+#: Key-derivation version: bump when the canonical unit description (the
+#: hashed fields) changes shape.  Version 2 added the seed-scheme token.
+CACHE_FORMAT_VERSION = 2
+
+#: On-disk entry schema: bump when the stored payload changes shape.
+#: Schema 2 added the ``schema`` and ``seed_scheme`` fields; entries with
+#: any other schema (including pre-schema ones) are treated as misses, not
+#: errors, so stale caches degrade to re-simulation.
+RESULT_SCHEMA = 2
 
 
 def config_token(config: SimulationConfig) -> str:
@@ -53,7 +63,13 @@ def config_token(config: SimulationConfig) -> str:
 
 
 def unit_key(unit: WorkUnit) -> str:
-    """Stable SHA-256 cache key of one work unit."""
+    """Stable SHA-256 cache key of one work unit.
+
+    The seed-scheme *token* (name + stream-format version) is part of the
+    key: schemes draw different streams, so results of one scheme must
+    never satisfy a lookup under another -- unlike ``fastpath``/``kernel``,
+    which are bit-identical wall-clock knobs and stay excluded.
+    """
     payload = {
         "version": CACHE_FORMAT_VERSION,
         "config": config_token(unit.config),
@@ -67,6 +83,7 @@ def unit_key(unit: WorkUnit) -> str:
         "code_seed_path": None
         if unit.code_seed_path is None
         else list(unit.code_seed_path),
+        "seed_scheme": get_scheme(unit.seed_scheme).token(),
     }
     digest = hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -105,6 +122,11 @@ class ResultCache:
         path = self._path(unit_key(unit))
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
+            if int(payload.get("schema", 1)) != RESULT_SCHEMA:
+                # An entry written by a different cache generation: a
+                # miss, never an error -- re-simulating beats aborting.
+                self.stats.misses += 1
+                return None
             result = UnitResult(
                 seed_path=tuple(payload["seed_path"]),
                 run_start=int(payload["run_start"]),
@@ -126,6 +148,8 @@ class ResultCache:
         path = self._path(unit_key(unit))
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
+            "schema": RESULT_SCHEMA,
+            "seed_scheme": unit.seed_scheme,
             "seed_path": list(result.seed_path),
             "run_start": result.run_start,
             "run_stop": result.run_stop,
@@ -160,6 +184,33 @@ class ResultCache:
             return 0
         return sum(path.stat().st_size for path in self.root.glob("??/*.json"))
 
+    #: ``put`` writes ``schema`` and ``seed_scheme`` first, so the scheme
+    #: always sits inside the first few dozen bytes of an entry.
+    _SCHEME_FIELD = re.compile(r'"seed_scheme"\s*:\s*"([^"]*)"')
+
+    def scheme_counts(self) -> Dict[str, int]:
+        """Entry counts per seed scheme (``cache info``'s breakdown).
+
+        Reads only a short prefix of each entry (the scheme is one of the
+        first fields written), so the breakdown stays cheap even for
+        paper-scale caches whose per-run ratio lists dominate the bytes.
+        Entries written before the scheme field existed (or unreadable
+        ones) are reported under ``"pre-seeds"`` -- they are misses on
+        lookup but still occupy disk, so the breakdown accounts for them.
+        """
+        counts: Counter = Counter()
+        if not self.root.is_dir():
+            return {}
+        for path in self.root.glob("??/*.json"):
+            try:
+                with open(path, encoding="utf-8", errors="replace") as stream:
+                    head = stream.read(512)
+            except OSError:
+                head = ""
+            match = self._SCHEME_FIELD.search(head)
+            counts[match.group(1) if match else "pre-seeds"] += 1
+        return dict(sorted(counts.items()))
+
     def clear(self) -> int:
         """Delete every entry; returns the number of entries removed."""
         removed = 0
@@ -182,6 +233,7 @@ class ResultCache:
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "CACHE_FORMAT_VERSION",
+    "RESULT_SCHEMA",
     "CacheStats",
     "ResultCache",
     "config_token",

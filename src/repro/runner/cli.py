@@ -11,8 +11,11 @@ Subcommands
     (``--no-fastpath`` falls back to the incremental reference path --
     results are bit-identical either way), ``--kernel`` to pin a
     :mod:`repro.kernels` backend for the decode hot loops (numpy / numba
-    / cext / python; default ``auto``), and optional CSV / appendix-style
-    table output through the analysis layer.
+    / cext / python; default ``auto``), ``--seed-scheme`` to pick the
+    :mod:`repro.seeds` run-stream derivation (``per-run`` reproduces the
+    historical streams bit-for-bit; ``unit`` batches a whole work unit's
+    draws from one counter-based generator), and optional CSV /
+    appendix-style table output through the analysis layer.
 ``cache``
     Inspect (``cache info``) or empty (``cache clear``) the result cache.
 
@@ -45,6 +48,7 @@ from repro.core.experiments import (
 )
 from repro.kernels import KernelUnavailableError, get_backend
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.seeds import resolve_scheme_name
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -127,6 +131,19 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--seed-scheme",
+        default=None,
+        metavar="SCHEME",
+        help=(
+            "seed scheme deriving the per-run random streams: 'per-run' "
+            "(default; the historical bit-reproducible "
+            "SeedSequence-per-run streams) or 'unit' (one counter-based "
+            "Philox generator per work unit; whole-unit block draws, "
+            "deterministic but a different stream, cached separately).  "
+            "Also settable via the REPRO_SEED_SCHEME environment variable"
+        ),
+    )
+    run.add_argument(
         "--csv-dir",
         default=None,
         help="write one CSV grid per configuration into this directory",
@@ -192,10 +209,13 @@ def _cmd_run(args, out, err) -> int:
     )
     if not args.fastpath:
         kernel_name = None
+    # Resolve the scheme up front too: an unknown --seed-scheme (or a
+    # stale REPRO_SEED_SCHEME) fails fast with the registered names.
+    scheme_name = resolve_scheme_name(args.seed_scheme)
 
     print(
         f"{spec.paper_reference}: {spec.title}\n"
-        f"scale={args.scale} seed={args.seed} "
+        f"scale={args.scale} seed={args.seed} seed-scheme={scheme_name} "
         f"workers={args.workers or 1} cache={'off' if cache is None else args.cache_dir} "
         f"fastpath={'on' if args.fastpath else 'off'}"
         + (f" kernel={kernel_name}" if kernel_name else ""),
@@ -230,6 +250,7 @@ def _cmd_run(args, out, err) -> int:
         cache=cache,
         fastpath=args.fastpath,
         kernel=kernel_name,
+        seed_scheme=scheme_name,
         progress_factory=per_config_progress,
     )
     if not args.quiet:
@@ -276,6 +297,8 @@ def _cmd_cache(args, out) -> int:
             f"{cache.size_bytes() / 1024:.1f} KiB",
             file=out,
         )
+        for scheme, count in cache.scheme_counts().items():
+            print(f"  seed-scheme {scheme}: {count} entries", file=out)
         return 0
     removed = cache.clear()
     print(f"cache {cache.root}: removed {removed} entries", file=out)

@@ -31,6 +31,7 @@ from repro.runner.units import (
     merge_cell,
     plan_units,
 )
+from repro.seeds import SchemeSpec, resolve_scheme_name
 from repro.utils.rng import RandomState, as_seed_int
 from repro.utils.validation import validate_positive_int
 
@@ -125,15 +126,20 @@ def run_grid(
     runs_per_unit: Optional[int] = None,
     fastpath: bool = True,
     kernel: Optional[str] = None,
+    seed_scheme: SchemeSpec = None,
 ) -> GridResult:
     """Sweep the Gilbert (p, q) grid for one configuration.
 
-    Seed-compatible with the historical serial ``simulate_grid``: every
-    (i, j, run) triple draws from ``SeedSequence([base_seed, i, j, run])``
-    and the shared code is built from ``default_rng(base_seed)``, so any
-    executor/cache combination returns bit-identical arrays.
+    Under the default ``"per-run"`` seed scheme this is seed-compatible
+    with the historical serial ``simulate_grid``: every (i, j, run) triple
+    draws from ``SeedSequence([base_seed, i, j, run])`` and the shared
+    code is built from ``default_rng(base_seed)``, so any executor/cache
+    combination returns bit-identical arrays.  ``seed_scheme`` selects a
+    different :mod:`repro.seeds` derivation (``None``: env / default);
+    the resolved name is recorded in the grid metadata.
     """
     runs = validate_positive_int(runs, "runs")
+    scheme_name = resolve_scheme_name(seed_scheme)
     if p_values is None or q_values is None:
         default_p, default_q = paper_grid()
         p_values = default_p if p_values is None else p_values
@@ -155,6 +161,7 @@ def run_grid(
         runs_per_unit=runs_per_unit,
         fastpath=fastpath,
         kernel=kernel,
+        seed_scheme=scheme_name,
     )
     results = _execute(
         units,
@@ -193,6 +200,7 @@ def run_grid(
             "expansion_ratio": config.expansion_ratio,
             "nsent": config.nsent,
             "seed": base_seed,
+            "seed_scheme": scheme_name,
         },
     )
 
@@ -214,6 +222,7 @@ def run_series(
     runs_per_unit: Optional[int] = None,
     fastpath: bool = True,
     kernel: Optional[str] = None,
+    seed_scheme: SchemeSpec = None,
     label: str = "",
 ) -> SeriesResult:
     """Sweep a pre-built list of configurations at a fixed (p, q) point.
@@ -230,6 +239,7 @@ def run_series(
             f"got {len(configs)} configs for {len(parameter_values)} parameter values"
         )
     base_seed = as_seed_int(seed)
+    scheme_name = resolve_scheme_name(seed_scheme)
     values = np.asarray(list(parameter_values), dtype=float)
     cells = [
         ((index,), config, float(p), float(q)) for index, config in enumerate(configs)
@@ -243,6 +253,7 @@ def run_series(
         runs_per_unit=runs_per_unit,
         fastpath=fastpath,
         kernel=kernel,
+        seed_scheme=scheme_name,
     )
     results = _execute(
         units,

@@ -2,12 +2,17 @@
 
 A sweep -- a (p, q) grid or a 1-D parameter series -- is sharded into
 independent :class:`WorkUnit` cells, each covering one point of the sweep
-and a contiguous range of runs.  Every run derives its generator from
-``SeedSequence([base_seed, *seed_path, run])``, which is exactly the scheme
+and a contiguous range of runs.  Each unit's random streams are derived by
+a named :mod:`repro.seeds` scheme: the default ``"per-run"`` scheme gives
+every run ``SeedSequence([base_seed, *seed_path, run])`` -- exactly what
 the serial sweeps in :mod:`repro.core.sweep` have always used
 (``[base_seed, i, j, run]`` for grids, ``[base_seed, index, run]`` for
 series), so executing the units serially, in parallel, or reloading them
-from the on-disk cache produces bit-identical results.
+from the on-disk cache produces bit-identical results.  The counter-based
+``"unit"`` scheme derives one Philox generator per unit instead, which
+lets the synthesis pipeline draw whole ``(runs, n)`` blocks; its results
+differ from ``"per-run"`` (the scheme is part of the cache key) but are
+equally deterministic across executors and cache states.
 
 Units are plain picklable dataclasses: they cross process boundaries for
 the process-pool executor and are hashed into cache keys by
@@ -25,6 +30,7 @@ from repro.channel.gilbert import GilbertChannel
 from repro.core.config import SimulationConfig
 from repro.core.metrics import RunResult, RunResultBatch
 from repro.core.simulator import Simulator
+from repro.seeds import SchemeSpec, UnitStreams, get_scheme, resolve_scheme_name
 
 #: Cell identifier inside one sweep: ``(i, j)`` for grids, ``(index,)`` for
 #: 1-D series.  It doubles as the seed salt, so two cells of the same sweep
@@ -67,6 +73,12 @@ class WorkUnit:
         resolves ``REPRO_KERNEL`` / auto in the executing process).  All
         backends are bit-identical, so like ``fastpath`` this is excluded
         from the cache key; kept a plain string so units stay picklable.
+    seed_scheme:
+        Name of the :mod:`repro.seeds` scheme deriving this unit's random
+        streams.  Unlike ``fastpath``/``kernel`` the scheme changes the
+        drawn streams, so it **is** part of the cache key.  Stored as the
+        resolved name (never ``None``) so units are self-describing when
+        they cross process boundaries.
     """
 
     config: SimulationConfig
@@ -80,6 +92,7 @@ class WorkUnit:
     code_seed_path: Optional[SeedPath] = None
     fastpath: bool = True
     kernel: Optional[str] = None
+    seed_scheme: str = "per-run"
 
     @property
     def runs(self) -> int:
@@ -114,6 +127,7 @@ def plan_units(
     runs_per_unit: Optional[int] = None,
     fastpath: bool = True,
     kernel: Optional[str] = None,
+    seed_scheme: SchemeSpec = None,
 ) -> List[WorkUnit]:
     """Shard a sweep into work units.
 
@@ -124,6 +138,8 @@ def plan_units(
     runs_per_unit:
         Split each cell into units of at most this many runs; ``None``
         keeps one unit per cell (the cache granularity used by default).
+        Under the ``"unit"`` seed scheme the sharding also selects the
+        counter windows, so it is part of the stream definition there.
     code_seed_by_path:
         Derive each cell's shared code seed from its ``seed_path`` instead
         of the sweep-wide ``base_seed`` (parameter-sweep behaviour).
@@ -131,8 +147,13 @@ def plan_units(
         Execute each unit's run range as one vectorised batch (default).
     kernel:
         Kernel-backend name for the batch decode (``None``: env / auto).
+    seed_scheme:
+        :mod:`repro.seeds` scheme deriving the run streams (``None``:
+        ``REPRO_SEED_SCHEME`` / ``"per-run"``); resolved here so every
+        planned unit carries an explicit scheme name.
     """
     chunk = runs if runs_per_unit is None else max(1, int(runs_per_unit))
+    scheme_name = resolve_scheme_name(seed_scheme)
     units: List[WorkUnit] = []
     for seed_path, config, p, q in configs:
         for run_start in range(0, runs, chunk):
@@ -151,6 +172,7 @@ def plan_units(
                     else None,
                     fastpath=bool(fastpath),
                     kernel=kernel,
+                    seed_scheme=scheme_name,
                 )
             )
     return units
@@ -183,51 +205,79 @@ def _shared_code(unit: WorkUnit):
     return code
 
 
-def _run_rng(unit: WorkUnit, run: int) -> np.random.Generator:
-    return np.random.default_rng(
-        np.random.SeedSequence([unit.base_seed, *unit.seed_path, run])
+def _unit_streams(unit: WorkUnit) -> UnitStreams:
+    """Resolve the unit's random streams through its seed scheme."""
+    return get_scheme(unit.seed_scheme).unit_streams(
+        unit.base_seed, unit.seed_path, unit.run_start, unit.run_stop
     )
+
+
+def _run_rng(unit: WorkUnit, run: int) -> np.random.Generator:
+    return _unit_streams(unit).run_rng(run)
 
 
 def _unit_batch(unit: WorkUnit) -> RunResultBatch:
     """Columnar outcomes of one unit, in run order.
 
     The whole run range flows through the :mod:`repro.pipeline` batched
-    run-synthesis pipeline as arrays (fastpath) or is stacked from the
-    per-run reference results (``fastpath=False``); either way the cell
-    metrics are computed from columns, never from per-run objects.
+    run-synthesis pipeline as arrays (fastpath) or is decoded by the
+    incremental reference decoder (``fastpath=False``); either way the
+    cell metrics are computed from columns, never from per-run objects.
     """
     from repro.fastpath import simulate_batch_columnar
 
     tx_model = unit.config.build_tx_model()
     channel = GilbertChannel(unit.p, unit.q)
+    streams = _unit_streams(unit)
     runs = range(unit.run_start, unit.run_stop)
 
     if not unit.fresh_code_per_run:
         code = _shared_code(unit)
         if unit.fastpath:
-            # The whole run range is one vectorised batch: each run keeps
-            # its own generator, so the batch is bit-identical to the
-            # incremental loop below.
+            # The whole run range is one vectorised batch.  Under the
+            # per-run scheme each run keeps its own generator, so the
+            # batch is bit-identical to the incremental loop; under the
+            # unit scheme the streams are defined by the block draws.
             return simulate_batch_columnar(
                 code,
                 tx_model,
                 channel,
-                [_run_rng(unit, run) for run in runs],
+                streams,
                 nsent=unit.config.nsent,
                 kernel=unit.kernel,
             )
+        if streams.unit_rng is not None:
+            # Unit-batching scheme: the front end is scheme-defined block
+            # draws, so synthesise it exactly as the fast path would and
+            # only swap the decoder for the incremental reference.
+            from repro.fastpath import decode_batch_incremental
+            from repro.pipeline.synthesis import synthesize_runs_unit
+
+            synthesis = synthesize_runs_unit(
+                code.layout,
+                tx_model,
+                channel,
+                streams.unit_rng,
+                streams.runs,
+                nsent=unit.config.nsent,
+                kernel=unit.kernel,
+            )
+            return decode_batch_incremental(code, synthesis)
         simulator = Simulator(code, tx_model, channel)
         return RunResultBatch.from_results(
-            [simulator.run(_run_rng(unit, run), nsent=unit.config.nsent) for run in runs]
+            [
+                simulator.run(streams.run_rng(run), nsent=unit.config.nsent)
+                for run in runs
+            ]
         )
 
     # Fresh code per run: the code must be drawn from the run generator
-    # *before* the schedule, so each run is its own batch of one.
+    # *before* the schedule, so each run is its own batch of one (the
+    # unit scheme gives every run its own counter window here).
     if unit.fastpath:
         batches: List[RunResultBatch] = []
         for run in runs:
-            run_rng = _run_rng(unit, run)
+            run_rng = streams.run_rng(run)
             code = unit.config.build_code(seed=run_rng)
             batches.append(
                 simulate_batch_columnar(
@@ -242,7 +292,7 @@ def _unit_batch(unit: WorkUnit) -> RunResultBatch:
         return RunResultBatch.concatenate(batches)
     results: List[RunResult] = []
     for run in runs:
-        run_rng = _run_rng(unit, run)
+        run_rng = streams.run_rng(run)
         code = unit.config.build_code(seed=run_rng)
         results.append(
             Simulator(code, tx_model, channel).run(run_rng, nsent=unit.config.nsent)

@@ -63,6 +63,40 @@ class TransmissionModel(abc.ABC):
             return rows
         return np.stack(rows)
 
+    def schedule_batch_unit(
+        self, layout: PacketLayout, rng: RandomState, runs: int
+    ):
+        """Schedules for a whole work unit drawn from ONE shared generator.
+
+        This is the ``"unit"`` seed scheme's entry point
+        (:mod:`repro.seeds`): unlike :meth:`schedule_batch`, every run's
+        randomness comes from the single unit generator, so overrides are
+        free to draw whole ``(runs, length)`` blocks in one call (e.g.
+        ``Generator.permuted`` row shuffles) instead of looping per run.
+        Block draws are *not* bit-identical to per-run :meth:`schedule`
+        calls on the same generator -- the unit scheme defines its streams
+        by this method's draw order -- but each row must be distributed
+        exactly like a :meth:`schedule` result, and the draw order must be
+        deterministic for a given generator state.
+
+        The default implementation loops :meth:`schedule` over the shared
+        generator (deterministic, sequential consumption), so duck-typed
+        third-party models work under the unit scheme unchanged.  Returns
+        a dense ``(runs, length)`` ``int64`` array or a ragged row list,
+        exactly like :meth:`schedule_batch`.
+        """
+        if not self.uses_rng:
+            return self.schedule_batch(layout, [None] * runs)
+        rng = ensure_rng(rng)
+        rows = [
+            np.asarray(self.schedule(layout, rng), dtype=np.int64)
+            for _ in range(runs)
+        ]
+        shapes = {row.shape for row in rows}
+        if len(shapes) != 1 or len(next(iter(shapes))) != 1:
+            return rows
+        return np.stack(rows)
+
     def description(self) -> str:
         """One-line human description (defaults to the class docstring)."""
         doc = (self.__doc__ or "").strip().splitlines()

@@ -72,6 +72,27 @@ class RxModel1(TransmissionModel):
             rng.shuffle(row[count:])
         return out
 
+    def schedule_batch_unit(
+        self, layout: PacketLayout, rng: RandomState, runs: int
+    ) -> np.ndarray:
+        rng = ensure_rng(rng)
+        count = min(self.num_source_packets, layout.k)
+        source = layout.source_indices
+        parity = layout.parity_indices
+        out = np.empty((runs, count + parity.size), dtype=np.int64)
+        out[:, count:] = parity
+        if self.pick_randomly and count:
+            # Uniform subset per row via one block permutation (see
+            # ``TxModel6.schedule_batch_unit``).
+            pool = np.empty((runs, source.size), dtype=np.int64)
+            pool[:] = source
+            rng.permuted(pool, axis=1, out=pool)
+            out[:, :count] = pool[:, :count]
+        elif count:
+            out[:, :count] = source[:count]
+        rng.permuted(out[:, count:], axis=1, out=out[:, count:])
+        return out
+
     def __repr__(self) -> str:
         return (
             f"RxModel1(num_source_packets={self.num_source_packets}, "

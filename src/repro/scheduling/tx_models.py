@@ -8,6 +8,14 @@ vectorised form: the whole work unit's schedules are assembled in one
 the per-run loop.  Each override consumes the generators exactly as the
 serial :meth:`schedule` does, so batch row ``i`` is bit-identical to a
 serial call with ``rngs[i]``.
+
+Under the ``"unit"`` seed scheme (:mod:`repro.seeds`) the per-generator
+constraint disappears -- a whole work unit shares one counter-based
+generator -- so the stochastic models also override
+:meth:`~repro.scheduling.base.TransmissionModel.schedule_batch_unit` with
+true block draws: row-wise shuffles and subset choices for *all* runs
+happen in a single ``Generator.permuted`` call, leaving no per-run loop at
+all.
 """
 
 from __future__ import annotations
@@ -55,6 +63,19 @@ class TxModel2(TransmissionModel):
             ensure_rng(rng).shuffle(row[source.size :])
         return out
 
+    def schedule_batch_unit(
+        self, layout: PacketLayout, rng: RandomState, runs: int
+    ) -> np.ndarray:
+        rng = ensure_rng(rng)
+        source = layout.source_indices
+        out = np.empty((runs, layout.n), dtype=np.int64)
+        out[:, : source.size] = source
+        out[:, source.size :] = layout.parity_indices
+        # Every run's parity shuffle in ONE call: permuted shuffles each
+        # row independently from the shared unit generator.
+        rng.permuted(out[:, source.size :], axis=1, out=out[:, source.size :])
+        return out
+
 
 class TxModel3(TransmissionModel):
     """Send parity packets sequentially, then source packets in random order."""
@@ -80,6 +101,17 @@ class TxModel3(TransmissionModel):
             ensure_rng(rng).shuffle(row[parity.size :])
         return out
 
+    def schedule_batch_unit(
+        self, layout: PacketLayout, rng: RandomState, runs: int
+    ) -> np.ndarray:
+        rng = ensure_rng(rng)
+        parity = layout.parity_indices
+        out = np.empty((runs, layout.n), dtype=np.int64)
+        out[:, : parity.size] = parity
+        out[:, parity.size :] = layout.source_indices
+        rng.permuted(out[:, parity.size :], axis=1, out=out[:, parity.size :])
+        return out
+
 
 class TxModel4(TransmissionModel):
     """Send all packets (source and parity) in a fully random order."""
@@ -99,6 +131,14 @@ class TxModel4(TransmissionModel):
         out[:] = np.arange(layout.n, dtype=np.int64)
         for row, rng in zip(out, rngs):
             ensure_rng(rng).shuffle(row)
+        return out
+
+    def schedule_batch_unit(
+        self, layout: PacketLayout, rng: RandomState, runs: int
+    ) -> np.ndarray:
+        out = np.empty((runs, layout.n), dtype=np.int64)
+        out[:] = np.arange(layout.n, dtype=np.int64)
+        ensure_rng(rng).permuted(out, axis=1, out=out)
         return out
 
 
@@ -163,6 +203,26 @@ class TxModel6(TransmissionModel):
             if keep > 0:
                 row[:keep] = rng.choice(source, size=keep, replace=False)
             rng.shuffle(row)
+        return out
+
+    def schedule_batch_unit(
+        self, layout: PacketLayout, rng: RandomState, runs: int
+    ) -> np.ndarray:
+        rng = ensure_rng(rng)
+        source = layout.source_indices
+        parity = layout.parity_indices
+        keep = int(round(self.source_fraction * source.size))
+        out = np.empty((runs, keep + parity.size), dtype=np.int64)
+        out[:, keep:] = parity
+        if keep > 0:
+            # Row-wise choice without replacement as one block draw: a
+            # full row permutation of the source indices, truncated to the
+            # first ``keep`` entries, is a uniform subset in uniform order.
+            pool = np.empty((runs, source.size), dtype=np.int64)
+            pool[:] = source
+            rng.permuted(pool, axis=1, out=pool)
+            out[:, :keep] = pool[:, :keep]
+        rng.permuted(out, axis=1, out=out)
         return out
 
     def __repr__(self) -> str:

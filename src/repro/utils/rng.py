@@ -56,8 +56,12 @@ def spawn_rngs(random_state: RandomState, count: int) -> list[np.random.Generato
         seq = random_state
     elif isinstance(random_state, np.random.Generator):
         # Derive a seed sequence from the generator to keep determinism.
-        seed = int(random_state.integers(0, 2**63 - 1))
-        seq = np.random.SeedSequence(seed)
+        # Four 63-bit words give the sequence a full 128+ bits of entropy;
+        # funnelling everything through a single 63-bit draw (the original
+        # code) narrowed the downstream state space enough to risk stream
+        # collisions between independently spawned families.
+        entropy = random_state.integers(0, 2**63 - 1, size=4)
+        seq = np.random.SeedSequence([int(word) for word in entropy])
     elif random_state is None:
         seq = np.random.SeedSequence()
     else:
