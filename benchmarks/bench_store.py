@@ -1,0 +1,255 @@
+"""Result-store microbenchmark: backend throughput and fleet wall-clock.
+
+Two measurements, appended to ``benchmarks/BENCH.json`` as one entry of
+``"benchmark": "store"`` (ledger schema 4 adds this entry kind next to
+the decoder trajectory):
+
+* **Backend throughput** -- ``put`` / ``get`` cells per second for the
+  ``json-dir`` and ``sqlite`` backends over 10 000 synthetic unit
+  results (representative tiny-cell payloads; the store cost is what is
+  being measured, not the simulation).  ``put`` goes through each
+  backend's ``put_many`` -- a loop of atomic file replaces for json-dir,
+  one batched transaction for sqlite -- which is exactly what a sweep's
+  write-back amounts to.
+* **Fleet wall-clock** -- one grid executed by a single
+  ``python -m repro run`` process versus two concurrent ``--fleet``
+  processes sharing one sqlite store (the CSVs are asserted
+  bit-identical first).  This measures the lease protocol's cost, not
+  decode throughput: the entry records the host's CPU count, and with
+  both workers pinned to one core (as in CI containers) the fleet can at
+  best tie the single process, so the interesting number is the
+  *overhead* -- wall-clock added by claim/heartbeat/release plus the
+  second interpreter -- which stays modest because failed claims, not
+  full rescans, drive result absorption.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_store.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from datetime import date
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _shared import BENCH_SEED  # noqa: E402
+
+from repro.core.config import SimulationConfig
+from repro.runner.units import UnitResult, WorkUnit
+from repro.store import JsonDirStore, SqliteStore
+
+#: Version-controlled performance ledger (shared with the decoder bench).
+BENCH_JSON = Path(__file__).parent / "BENCH.json"
+
+#: Schema 4 adds ``"benchmark": "store"`` entries (backend put/get
+#: throughput and fleet wall-clock) to the decoder-trajectory ledger.
+BENCH_SCHEMA = 4
+
+#: Synthetic cells for the backend-throughput measurement.
+CELLS = 10_000
+
+#: Runs per unit in the synthetic payloads (sets the payload size).
+RUNS_PER_UNIT = 4
+
+#: The fleet measurement's workload: big enough that simulation, not
+#: interpreter start-up, dominates the wall clock being compared.
+FLEET_EXPERIMENT = "fig09"
+FLEET_SCALE = "small"
+FLEET_RUNS = 20
+
+
+def _synthetic_items(count: int):
+    """``(unit, result)`` pairs covering ``count`` distinct store keys.
+
+    The units vary in ``seed_path`` (cell position), exactly how a sweep's
+    units differ; payload floats come from one seeded generator so reruns
+    of the benchmark write identical bytes.
+    """
+    config = SimulationConfig(
+        code="ldgm-staircase", tx_model="tx_model_2", k=200, expansion_ratio=2.5
+    )
+    rng = np.random.default_rng(BENCH_SEED)
+    ratios = rng.uniform(1.0, 3.0, size=(count, RUNS_PER_UNIT))
+    received = rng.uniform(1.0, 3.0, size=(count, RUNS_PER_UNIT))
+    items = []
+    for index in range(count):
+        seed_path = (index // 100, index % 100)
+        unit = WorkUnit(
+            config=config,
+            p=0.05,
+            q=0.5,
+            seed_path=seed_path,
+            run_start=0,
+            run_stop=RUNS_PER_UNIT,
+            base_seed=BENCH_SEED,
+        )
+        result = UnitResult(
+            seed_path=seed_path,
+            run_start=0,
+            run_stop=RUNS_PER_UNIT,
+            inefficiency_ratios=tuple(float(v) for v in ratios[index]),
+            received_ratios=tuple(float(v) for v in received[index]),
+            failures=0,
+        )
+        items.append((unit, result))
+    return items
+
+
+def _measure_backend(name: str, store, items) -> dict:
+    started = time.perf_counter()
+    written = store.put_many(items)
+    put_elapsed = time.perf_counter() - started
+    assert written == len(items)
+
+    started = time.perf_counter()
+    for unit, result in items:
+        loaded = store.get(unit)
+        assert loaded == result
+    get_elapsed = time.perf_counter() - started
+
+    row = {
+        "backend": name,
+        "cells": len(items),
+        "put_cells_per_sec": round(len(items) / put_elapsed, 1),
+        "get_cells_per_sec": round(len(items) / get_elapsed, 1),
+        "size_bytes": store.size_bytes(),
+    }
+    store.close()
+    return row
+
+
+def _run_cli(argv, cwd) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=cwd,
+    )
+
+
+def _measure_fleet(workdir: Path) -> dict:
+    base = (
+        "run", FLEET_EXPERIMENT, "--scale", FLEET_SCALE,
+        "--runs", str(FLEET_RUNS), "--quiet",
+    )
+
+    started = time.perf_counter()
+    single = _run_cli(
+        (*base, "--store", f"sqlite:{workdir}/single.db",
+         "--csv-dir", str(workdir / "csv_single")),
+        workdir,
+    )
+    single.communicate()
+    single_elapsed = time.perf_counter() - started
+    assert single.returncode == 0
+
+    started = time.perf_counter()
+    workers = [
+        _run_cli(
+            (*base, "--store", f"sqlite:{workdir}/fleet.db", "--fleet",
+             "--worker-id", f"w{index}",
+             "--csv-dir", str(workdir / f"csv_w{index}")),
+            workdir,
+        )
+        for index in range(2)
+    ]
+    for worker in workers:
+        worker.communicate()
+    fleet_elapsed = time.perf_counter() - started
+    assert all(worker.returncode == 0 for worker in workers)
+
+    references = sorted((workdir / "csv_single").glob("*.csv"))
+    assert references
+    for index in range(2):
+        twins = sorted((workdir / f"csv_w{index}").glob("*.csv"))
+        assert [t.name for t in twins] == [r.name for r in references]
+        for twin, reference in zip(twins, references):
+            assert twin.read_bytes() == reference.read_bytes(), "fleet != single"
+
+    return {
+        "experiment": FLEET_EXPERIMENT,
+        "scale": FLEET_SCALE,
+        "runs": FLEET_RUNS,
+        "cpus": os.cpu_count(),
+        "single_process_sec": round(single_elapsed, 2),
+        "fleet_2_workers_sec": round(fleet_elapsed, 2),
+        "fleet_overhead_pct": round(
+            100.0 * (fleet_elapsed - single_elapsed) / single_elapsed, 1
+        ),
+    }
+
+
+def run_benchmark() -> dict:
+    items = _synthetic_items(CELLS)
+    tmp = Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+    try:
+        backends = [
+            _measure_backend("json-dir", JsonDirStore(tmp / "jd"), items),
+            _measure_backend("sqlite", SqliteStore(tmp / "bench.db"), items),
+        ]
+        fleet = _measure_fleet(tmp)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "benchmark": "store",
+        "date": date.today().isoformat(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cells": CELLS,
+        "runs_per_unit": RUNS_PER_UNIT,
+        "seed": BENCH_SEED,
+        "backends": backends,
+        "fleet": fleet,
+    }
+
+
+def append_to_bench_json(entry: dict) -> Path:
+    destination = BENCH_JSON
+    if destination.exists():
+        payload = json.loads(destination.read_text(encoding="utf-8"))
+    else:
+        payload = {"schema": BENCH_SCHEMA, "entries": []}
+    # Schema 4 adds an entry kind; old entries are not rewritten.
+    payload["schema"] = max(int(payload.get("schema", 1)), BENCH_SCHEMA)
+    payload["entries"].append(entry)
+    destination.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return destination
+
+
+def main() -> int:
+    entry = run_benchmark()
+    print(f"result-store microbenchmark ({entry['cells']} cells)")
+    for row in entry["backends"]:
+        print(
+            f"  {row['backend']:8s} put {row['put_cells_per_sec']:9.1f} cells/s   "
+            f"get {row['get_cells_per_sec']:9.1f} cells/s   "
+            f"({row['size_bytes'] / 1024:.0f} KiB)"
+        )
+    fleet = entry["fleet"]
+    print(
+        f"  fleet ({fleet['experiment']}/{fleet['scale']}, runs={fleet['runs']}, "
+        f"{fleet['cpus']} cpu): single {fleet['single_process_sec']:.2f}s vs "
+        f"2 workers {fleet['fleet_2_workers_sec']:.2f}s "
+        f"({fleet['fleet_overhead_pct']:+.1f}% wall-clock, CSVs bit-identical)"
+    )
+    destination = append_to_bench_json(entry)
+    print(f"recorded in {destination}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,10 +36,18 @@ The package is organised as a set of small, composable subsystems:
     historical ``SeedSequence``-per-run streams bit-for-bit; ``"unit"``
     derives one counter-based Philox generator per work unit so the
     stochastic stages draw whole ``(runs, n)`` blocks in one call.
+``repro.store``
+    Pluggable result-store backends behind one ``ResultStore`` contract:
+    the byte-compatible ``json-dir`` file layout (default), a single-file
+    WAL-mode ``sqlite`` store with indexed lookups and per-unit
+    provenance, and an in-memory backend for tests -- plus verified
+    migration between them and the work-unit lease protocol that fleet
+    execution builds on.
 ``repro.runner``
     The parallel experiment-execution engine: deterministic work-unit
-    sharding, serial / process-pool executors, the resumable on-disk
-    result cache and the ``python -m repro`` CLI.
+    sharding, serial / process-pool executors, resumable result stores,
+    cooperative coordinator-free fleet execution over lease-capable
+    stores, and the ``python -m repro`` CLI.
 ``repro.flute``
     A small in-process FLUTE/ALC-like file-delivery substrate showing the
     codes and schedulers in their motivating context.
@@ -80,11 +88,25 @@ from repro.fec import (
 )
 from repro.fastpath import simulate_batch, simulate_batch_columnar
 from repro.pipeline import synthesize_runs
-from repro.runner import ProcessExecutor, ResultCache, SerialExecutor, run_grid
+from repro.runner import (
+    FleetRunner,
+    ProcessExecutor,
+    ResultCache,
+    SerialExecutor,
+    run_grid,
+)
 from repro.scheduling import make_tx_model
 from repro.seeds import available_schemes, get_scheme
+from repro.store import (
+    JsonDirStore,
+    MemoryStore,
+    ResultStore,
+    SqliteStore,
+    migrate_store,
+    resolve_store,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BernoulliChannel",
@@ -101,10 +123,17 @@ __all__ = [
     "ReedSolomonCode",
     "make_code",
     "make_tx_model",
+    "FleetRunner",
     "ProcessExecutor",
     "ResultCache",
     "SerialExecutor",
     "run_grid",
+    "JsonDirStore",
+    "MemoryStore",
+    "ResultStore",
+    "SqliteStore",
+    "migrate_store",
+    "resolve_store",
     "simulate_batch",
     "simulate_batch_columnar",
     "synthesize_runs",

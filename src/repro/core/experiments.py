@@ -281,6 +281,9 @@ def run_experiment(
     fastpath: bool = True,
     kernel: Optional[str] = None,
     seed_scheme=None,
+    fleet: bool = False,
+    lease_ttl: Optional[float] = None,
+    worker_id: Optional[str] = None,
     progress_factory: Optional[ProgressFactory] = None,
 ) -> Dict[str, GridResult]:
     """Run every configuration of an experiment and return grids by label.
@@ -299,6 +302,11 @@ def run_experiment(
         :func:`repro.core.sweep.simulate_grid`; by default the serial
         executor is used unless ``workers > 1`` selects the process pool,
         and the seed scheme resolves ``REPRO_SEED_SCHEME`` / ``"per-run"``.
+    fleet, lease_ttl, worker_id:
+        Cooperative fleet-execution knobs (see
+        :func:`repro.core.sweep.simulate_grid`): with ``fleet=True``,
+        processes sharing the ``cache`` store split each grid under TTL
+        leases and all return the complete, bit-identical result.
     progress_factory:
         Called with the 1-based index of each configuration before its
         sweep; returns that sweep's ``(done, total)`` progress callback.
@@ -324,6 +332,9 @@ def run_experiment(
             fastpath=fastpath,
             kernel=kernel,
             seed_scheme=seed_scheme,
+            fleet=fleet,
+            lease_ttl=lease_ttl,
+            worker_id=worker_id,
         )
         results[config.display_label] = grid
     return results

@@ -45,6 +45,9 @@ def simulate_grid(
     fastpath: bool = True,
     kernel: Optional[str] = None,
     seed_scheme: SchemeSpec = None,
+    fleet: bool = False,
+    lease_ttl: Optional[float] = None,
+    worker_id: Optional[str] = None,
 ) -> GridResult:
     """Sweep the Gilbert (p, q) grid for one configuration.
 
@@ -94,6 +97,14 @@ def simulate_grid(
         counter-based generator -- deterministic, but a *different*
         stream, so it keys the result cache separately).  ``None``
         resolves ``REPRO_SEED_SCHEME`` / ``"per-run"``.
+    fleet:
+        Execute cooperatively: claim units from the shared ``cache``
+        store under TTL leases (:mod:`repro.runner.fleet`), so several
+        processes running this exact sweep against one store split the
+        grid with no duplicated work.  Requires a lease-capable store.
+    lease_ttl, worker_id:
+        Fleet knobs: lease time-to-live in seconds and the worker's
+        fleet-unique identity (default ``<hostname>:<pid>``).
     """
     return run_grid(
         config,
@@ -109,6 +120,9 @@ def simulate_grid(
         fastpath=fastpath,
         kernel=kernel,
         seed_scheme=seed_scheme,
+        fleet=fleet,
+        lease_ttl=lease_ttl,
+        worker_id=worker_id,
     )
 
 
@@ -129,6 +143,9 @@ def sweep_parameter(
     fastpath: bool = True,
     kernel: Optional[str] = None,
     seed_scheme: SchemeSpec = None,
+    fleet: bool = False,
+    lease_ttl: Optional[float] = None,
+    worker_id: Optional[str] = None,
     label: str = "",
 ) -> SeriesResult:
     """Sweep an arbitrary scalar parameter at a fixed (p, q) point.
@@ -155,6 +172,8 @@ def sweep_parameter(
         Optional callback ``(done_points, total_points)``.
     executor, workers, cache, fastpath, kernel, seed_scheme:
         Execution/caching/seeding knobs, as in :func:`simulate_grid`.
+    fleet, lease_ttl, worker_id:
+        Cooperative fleet-execution knobs, as in :func:`simulate_grid`.
     """
     values = [float(value) for value in parameter_values]
     configs = [make_config(value) for value in values]
@@ -174,6 +193,9 @@ def sweep_parameter(
         fastpath=fastpath,
         kernel=kernel,
         seed_scheme=seed_scheme,
+        fleet=fleet,
+        lease_ttl=lease_ttl,
+        worker_id=worker_id,
         label=label,
     )
 

@@ -7,7 +7,11 @@ bit-identically, whatever the execution strategy:
 
 * :mod:`repro.runner.units` -- the work-unit model and seed derivation.
 * :mod:`repro.runner.executors` -- serial and process-pool executors.
-* :mod:`repro.runner.cache` -- the resumable on-disk result cache.
+* :mod:`repro.runner.cache` -- compatibility adapter over the ``json-dir``
+  backend of the pluggable result-store subsystem (:mod:`repro.store`).
+* :mod:`repro.runner.fleet` -- cooperative fleet execution: work-unit
+  leases over a shared store, so N coordinator-free processes split one
+  sweep with no duplicated work and crash tolerance.
 * :mod:`repro.runner.engine` -- planning, caching, execution, aggregation.
 * :mod:`repro.runner.cli` -- the ``python -m repro`` command-line front end.
 
@@ -19,12 +23,22 @@ the benchmark harness are thin wrappers over :func:`run_grid` /
 from repro.runner.cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache, unit_key
 from repro.runner.engine import run_grid, run_series
 from repro.runner.executors import ProcessExecutor, SerialExecutor, resolve_executor
+from repro.runner.fleet import (
+    DEFAULT_LEASE_TTL,
+    FleetRunner,
+    FleetStats,
+    default_worker_id,
+)
 from repro.runner.units import UnitResult, WorkUnit, execute_unit, plan_units
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_LEASE_TTL",
     "CacheStats",
+    "FleetRunner",
+    "FleetStats",
     "ResultCache",
+    "default_worker_id",
     "unit_key",
     "run_grid",
     "run_series",

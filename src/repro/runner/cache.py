@@ -1,233 +1,32 @@
-"""On-disk result cache of the experiment-execution engine.
+"""Backwards-compatible adapter over the ``json-dir`` result store.
 
-Every executed :class:`~repro.runner.units.WorkUnit` is stored as one small
-JSON file under a cache root (``.repro_cache/`` by default), keyed by a
-SHA-256 hash of the canonical description of the unit: the code-defining
-fields of its :class:`~repro.core.config.SimulationConfig`, the channel
-point, the run range, the seed derivation and a format version.  Because
-the per-run seeds are pure functions of that description, a cache hit is
-guaranteed to contain exactly what re-simulating would have produced, which
-makes interrupted sweeps resumable: re-running an experiment skips every
-cell that already completed and simulates only the missing ones.
-
-JSON serialises floats via ``repr`` (shortest round-trip form), so ratios
-reloaded from the cache are bit-identical to freshly computed ones.
+The on-disk result cache grew into a pluggable subsystem
+(:mod:`repro.store`): canonical keys and payloads live in
+:mod:`repro.store.codec`, the historical ``.repro_cache/`` file layout is
+the ``json-dir`` backend (:mod:`repro.store.json_dir`), and sqlite /
+in-memory backends sit behind the same :class:`~repro.store.ResultStore`
+contract.  This module keeps the original import surface --
+``ResultCache``, ``unit_key``, ``config_token``, the format-version
+constants -- pointing at the store subsystem, so every pre-store call
+site (``cache=ResultCache(dir)``, key derivation in tests, the CLI)
+keeps working unchanged, on unchanged bytes.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import re
-import tempfile
-from collections import Counter
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Dict, Optional, Union
-
-from repro.core.config import SimulationConfig
-from repro.runner.units import UnitResult, WorkUnit
-from repro.seeds import get_scheme
-
-#: Default cache root, relative to the current working directory.
-DEFAULT_CACHE_DIR = ".repro_cache"
-
-#: Key-derivation version: bump when the canonical unit description (the
-#: hashed fields) changes shape.  Version 2 added the seed-scheme token.
-CACHE_FORMAT_VERSION = 2
-
-#: On-disk entry schema: bump when the stored payload changes shape.
-#: Schema 2 added the ``schema`` and ``seed_scheme`` fields; entries with
-#: any other schema (including pre-schema ones) are treated as misses, not
-#: errors, so stale caches degrade to re-simulation.
-RESULT_SCHEMA = 2
+from repro.store.base import StoreStats as CacheStats
+from repro.store.codec import (
+    CACHE_FORMAT_VERSION,
+    RESULT_SCHEMA,
+    config_token,
+    unit_key,
+)
+from repro.store.json_dir import DEFAULT_CACHE_DIR, JsonDirStore
 
 
-def config_token(config: SimulationConfig) -> str:
-    """Canonical JSON token of the result-defining fields of a config.
-
-    The display ``label`` is excluded: relabelling a configuration must not
-    invalidate its cached results.
-    """
-    payload = {
-        "code": config.code,
-        "tx_model": config.tx_model,
-        "k": config.k,
-        "expansion_ratio": config.expansion_ratio,
-        "nsent": config.nsent,
-        "code_options": config.code_options,
-        "tx_options": config.tx_options,
-    }
-    return json.dumps(payload, sort_keys=True, default=repr)
-
-
-def unit_key(unit: WorkUnit) -> str:
-    """Stable SHA-256 cache key of one work unit.
-
-    The seed-scheme *token* (name + stream-format version) is part of the
-    key: schemes draw different streams, so results of one scheme must
-    never satisfy a lookup under another -- unlike ``fastpath``/``kernel``,
-    which are bit-identical wall-clock knobs and stay excluded.
-    """
-    payload = {
-        "version": CACHE_FORMAT_VERSION,
-        "config": config_token(unit.config),
-        "p": unit.p,
-        "q": unit.q,
-        "seed_path": list(unit.seed_path),
-        "run_start": unit.run_start,
-        "run_stop": unit.run_stop,
-        "base_seed": unit.base_seed,
-        "fresh_code_per_run": unit.fresh_code_per_run,
-        "code_seed_path": None
-        if unit.code_seed_path is None
-        else list(unit.code_seed_path),
-        "seed_scheme": get_scheme(unit.seed_scheme).token(),
-    }
-    digest = hashlib.sha256(
-        json.dumps(payload, sort_keys=True).encode("utf-8")
-    ).hexdigest()
-    return digest
-
-
-@dataclass
-class CacheStats:
-    """Hit/miss counters of one :class:`ResultCache` instance."""
-
-    hits: int = 0
-    misses: int = 0
-    writes: int = 0
-
-
-class ResultCache:
-    """File-per-unit result cache under a root directory.
-
-    Entries are sharded into 256 subdirectories by the first two hex digits
-    of the key to keep directory listings small at paper scale (a 14 x 14
-    grid times six configurations is ~1200 cells per figure).
-    Writes go through a temporary file plus ``os.replace`` so a crashed or
-    killed run never leaves a truncated entry behind.
-    """
-
-    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
-        self.root = Path(root)
-        self.stats = CacheStats()
-
-    def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
-
-    def get(self, unit: WorkUnit) -> Optional[UnitResult]:
-        """Return the cached result of ``unit``, or ``None`` on a miss."""
-        path = self._path(unit_key(unit))
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-            if int(payload.get("schema", 1)) != RESULT_SCHEMA:
-                # An entry written by a different cache generation: a
-                # miss, never an error -- re-simulating beats aborting.
-                self.stats.misses += 1
-                return None
-            result = UnitResult(
-                seed_path=tuple(payload["seed_path"]),
-                run_start=int(payload["run_start"]),
-                run_stop=int(payload["run_stop"]),
-                inefficiency_ratios=tuple(payload["inefficiency_ratios"]),
-                received_ratios=tuple(payload["received_ratios"]),
-                failures=int(payload["failures"]),
-            )
-        except (OSError, ValueError, KeyError, TypeError):
-            # A truncated, hand-edited or otherwise malformed entry is a
-            # miss: re-simulating one cell beats aborting a resumable sweep.
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return result
-
-    def put(self, unit: WorkUnit, result: UnitResult) -> None:
-        """Persist the result of one executed unit."""
-        path = self._path(unit_key(unit))
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "schema": RESULT_SCHEMA,
-            "seed_scheme": unit.seed_scheme,
-            "seed_path": list(result.seed_path),
-            "run_start": result.run_start,
-            "run_stop": result.run_stop,
-            "inefficiency_ratios": list(result.inefficiency_ratios),
-            "received_ratios": list(result.received_ratios),
-            "failures": result.failures,
-        }
-        handle, tmp_path = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                json.dump(payload, stream)
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
-        self.stats.writes += 1
-
-    def __len__(self) -> int:
-        """Number of entries currently on disk."""
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("??/*.json"))
-
-    def size_bytes(self) -> int:
-        """Total on-disk size of the cache entries."""
-        if not self.root.is_dir():
-            return 0
-        return sum(path.stat().st_size for path in self.root.glob("??/*.json"))
-
-    #: ``put`` writes ``schema`` and ``seed_scheme`` first, so the scheme
-    #: always sits inside the first few dozen bytes of an entry.
-    _SCHEME_FIELD = re.compile(r'"seed_scheme"\s*:\s*"([^"]*)"')
-
-    def scheme_counts(self) -> Dict[str, int]:
-        """Entry counts per seed scheme (``cache info``'s breakdown).
-
-        Reads only a short prefix of each entry (the scheme is one of the
-        first fields written), so the breakdown stays cheap even for
-        paper-scale caches whose per-run ratio lists dominate the bytes.
-        Entries written before the scheme field existed (or unreadable
-        ones) are reported under ``"pre-seeds"`` -- they are misses on
-        lookup but still occupy disk, so the breakdown accounts for them.
-        """
-        counts: Counter = Counter()
-        if not self.root.is_dir():
-            return {}
-        for path in self.root.glob("??/*.json"):
-            try:
-                with open(path, encoding="utf-8", errors="replace") as stream:
-                    head = stream.read(512)
-            except OSError:
-                head = ""
-            match = self._SCHEME_FIELD.search(head)
-            counts[match.group(1) if match else "pre-seeds"] += 1
-        return dict(sorted(counts.items()))
-
-    def clear(self) -> int:
-        """Delete every entry; returns the number of entries removed."""
-        removed = 0
-        if not self.root.is_dir():
-            return removed
-        for path in self.root.glob("??/*.json"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        for shard in self.root.glob("??"):
-            try:
-                shard.rmdir()
-            except OSError:
-                pass
-        return removed
+class ResultCache(JsonDirStore):
+    """File-per-unit result cache: the ``json-dir`` store under its
+    historical name.  See :class:`repro.store.json_dir.JsonDirStore`."""
 
 
 __all__ = [

@@ -6,18 +6,25 @@ Subcommands
     Table of every figure/table preset and the available scales.
 ``run``
     Execute one experiment preset at a chosen scale, with ``--workers``
-    for process-pool parallelism, the on-disk result cache for resumable
-    runs (``--no-cache`` to disable), the vectorised batch decoder
-    (``--no-fastpath`` falls back to the incremental reference path --
-    results are bit-identical either way), ``--kernel`` to pin a
-    :mod:`repro.kernels` backend for the decode hot loops (numpy / numba
-    / cext / python; default ``auto``), ``--seed-scheme`` to pick the
-    :mod:`repro.seeds` run-stream derivation (``per-run`` reproduces the
-    historical streams bit-for-bit; ``unit`` batches a whole work unit's
-    draws from one counter-based generator), and optional CSV /
-    appendix-style table output through the analysis layer.
+    for process-pool parallelism, a pluggable result store for resumable
+    runs (``--store sqlite:results.db`` / ``--cache-dir`` for the default
+    json-dir layout, ``--no-cache`` to disable), cooperative **fleet
+    execution** (``--fleet``: several processes pointed at one shared
+    store split the sweep under TTL leases with no coordinator), the
+    vectorised batch decoder (``--no-fastpath`` falls back to the
+    incremental reference path -- results are bit-identical either way),
+    ``--kernel`` to pin a :mod:`repro.kernels` backend, ``--seed-scheme``
+    to pick the :mod:`repro.seeds` run-stream derivation, and optional
+    CSV / appendix-style table output through the analysis layer.
 ``cache``
-    Inspect (``cache info``) or empty (``cache clear``) the result cache.
+    Inspect (``cache info``), empty (``cache clear``, optionally
+    ``--scheme`` for one seed scheme's entries) or migrate
+    (``cache migrate SRC DST``) a result store; every action accepts a
+    store URI (``json-dir:PATH``, ``sqlite:PATH``, ``memory:NAME`` or a
+    bare json-dir path).
+``rerun-unit``
+    Re-execute one work unit from its provenance payload (the exact
+    command recorded by the sqlite backend) and print the result payload.
 
 Examples
 --------
@@ -25,13 +32,16 @@ Examples
 
     python -m repro list-experiments
     python -m repro run fig09 --scale tiny --workers 4
+    python -m repro run fig09 --scale small --store sqlite:fig09.db --fleet
     python -m repro run table5 --scale small --runs 2 --csv-dir results/
-    python -m repro cache info
+    python -m repro cache info --store sqlite:fig09.db
+    python -m repro cache migrate .repro_cache sqlite:results.db
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -47,8 +57,17 @@ from repro.core.experiments import (
     run_experiment,
 )
 from repro.kernels import KernelUnavailableError, get_backend
-from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.cache import DEFAULT_CACHE_DIR
+from repro.runner.fleet import DEFAULT_LEASE_TTL
+from repro.runner.units import WorkUnit, execute_unit
 from repro.seeds import resolve_scheme_name
+from repro.store import (
+    LeaseUnsupportedError,
+    ResultStore,
+    encode_result,
+    migrate_store,
+    resolve_store,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -94,17 +113,55 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_group.add_argument(
         "--resume",
         action="store_true",
-        help="use the on-disk result cache to skip completed cells (default)",
+        help="use the on-disk result store to skip completed cells (default)",
     )
     cache_group.add_argument(
         "--no-cache",
         action="store_true",
-        help="disable the result cache entirely",
+        help="disable the result store entirely",
     )
     run.add_argument(
         "--cache-dir",
         default=DEFAULT_CACHE_DIR,
-        help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})",
+        help=f"json-dir store directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    run.add_argument(
+        "--store",
+        default=None,
+        metavar="URI",
+        help=(
+            "result-store URI: 'json-dir:PATH' (the historical file-per-"
+            "unit layout), 'sqlite:PATH' (single-file indexed store, "
+            "recommended for large sweeps and fleets), 'memory:NAME', or "
+            "a bare directory path (json-dir).  Overrides --cache-dir"
+        ),
+    )
+    run.add_argument(
+        "--fleet",
+        action="store_true",
+        help=(
+            "cooperative fleet execution: claim work units from the shared "
+            "--store under TTL leases, so several processes running this "
+            "exact command split the sweep with no coordinator and no "
+            "duplicated work; every process prints the complete result"
+        ),
+    )
+    run.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        metavar="SECONDS",
+        help=(
+            "fleet lease time-to-live; a worker that stops heartbeating "
+            f"has its units reclaimed after this long (default: "
+            f"{DEFAULT_LEASE_TTL:.0f}s)"
+        ),
+    )
+    run.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="fleet worker identity (default: <hostname>:<pid>)",
     )
     run.add_argument(
         "--fastpath",
@@ -157,12 +214,68 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the progress meter"
     )
 
-    cache = subparsers.add_parser("cache", help="inspect or clear the result cache")
-    cache.add_argument("action", choices=("info", "clear"))
+    cache = subparsers.add_parser(
+        "cache", help="inspect, clear or migrate a result store"
+    )
+    cache.add_argument(
+        "action",
+        choices=("info", "clear", "migrate"),
+        help=(
+            "info: entry count, size and per-scheme breakdown; clear: "
+            "delete entries (all, or one --scheme's); migrate: copy every "
+            "entry from SOURCE to DEST, verifying the round-trip"
+        ),
+    )
+    cache.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        metavar="SOURCE",
+        help="migrate: source store URI or json-dir path",
+    )
+    cache.add_argument(
+        "dest",
+        nargs="?",
+        default=None,
+        metavar="DEST",
+        help="migrate: destination store URI or json-dir path",
+    )
     cache.add_argument(
         "--cache-dir",
         default=DEFAULT_CACHE_DIR,
-        help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})",
+        help=f"json-dir store directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    cache.add_argument(
+        "--store",
+        default=None,
+        metavar="URI",
+        help="store URI for info/clear (overrides --cache-dir)",
+    )
+    cache.add_argument(
+        "--scheme",
+        default=None,
+        metavar="NAME",
+        help=(
+            "restrict clear/migrate to entries of one seed scheme "
+            "(e.g. 'per-run/v1', 'unit/v1')"
+        ),
+    )
+    cache.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="migrate: skip the per-entry round-trip verification",
+    )
+
+    rerun = subparsers.add_parser(
+        "rerun-unit",
+        help="re-execute one work unit from its provenance payload",
+    )
+    rerun.add_argument(
+        "payload",
+        help=(
+            "the work unit's JSON payload as recorded in store provenance "
+            "('-' reads it from stdin)"
+        ),
     )
 
     return parser
@@ -194,9 +307,20 @@ def _cmd_list_experiments(out) -> int:
     return 0
 
 
+def _open_store(args) -> Optional[ResultStore]:
+    """Resolve the run/cache commands' store flags to a store (or None)."""
+    if getattr(args, "no_cache", False):
+        return None
+    if args.store is not None:
+        return resolve_store(args.store)
+    return resolve_store(args.cache_dir)
+
+
 def _cmd_run(args, out, err) -> int:
     spec = get_experiment(args.experiment)
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    cache = _open_store(args)
+    if args.fleet and cache is None:
+        raise ValueError("--fleet needs a shared result store; drop --no-cache")
     total_configs = len(spec.configs)
     # Resolve the kernel up front so an unknown/unavailable backend fails
     # fast with a clear message instead of deep inside a worker process --
@@ -216,9 +340,11 @@ def _cmd_run(args, out, err) -> int:
     print(
         f"{spec.paper_reference}: {spec.title}\n"
         f"scale={args.scale} seed={args.seed} seed-scheme={scheme_name} "
-        f"workers={args.workers or 1} cache={'off' if cache is None else args.cache_dir} "
+        f"workers={args.workers or 1} "
+        f"store={'off' if cache is None else cache.uri()} "
         f"fastpath={'on' if args.fastpath else 'off'}"
-        + (f" kernel={kernel_name}" if kernel_name else ""),
+        + (f" kernel={kernel_name}" if kernel_name else "")
+        + (f" fleet=on ttl={args.lease_ttl:g}s" if args.fleet else ""),
         file=out,
     )
 
@@ -240,19 +366,26 @@ def _cmd_run(args, out, err) -> int:
         config_index = index
         return progress
 
-    results = run_experiment(
-        args.experiment,
-        scale=args.scale,
-        seed=args.seed,
-        runs=args.runs,
-        executor=args.executor,
-        workers=args.workers,
-        cache=cache,
-        fastpath=args.fastpath,
-        kernel=kernel_name,
-        seed_scheme=scheme_name,
-        progress_factory=per_config_progress,
-    )
+    try:
+        results = run_experiment(
+            args.experiment,
+            scale=args.scale,
+            seed=args.seed,
+            runs=args.runs,
+            executor=args.executor,
+            workers=args.workers,
+            cache=cache,
+            fastpath=args.fastpath,
+            kernel=kernel_name,
+            seed_scheme=scheme_name,
+            fleet=args.fleet,
+            lease_ttl=args.lease_ttl,
+            worker_id=args.worker_id,
+            progress_factory=per_config_progress,
+        )
+    finally:
+        if cache is not None:
+            cache.close()
     if not args.quiet:
         print(file=err)
     elapsed = time.perf_counter() - started
@@ -289,19 +422,46 @@ def _cmd_run(args, out, err) -> int:
 
 
 def _cmd_cache(args, out) -> int:
-    cache = ResultCache(args.cache_dir)
-    if args.action == "info":
-        entries = len(cache)
-        print(
-            f"cache {cache.root}: {entries} entries, "
-            f"{cache.size_bytes() / 1024:.1f} KiB",
-            file=out,
-        )
-        for scheme, count in cache.scheme_counts().items():
-            print(f"  seed-scheme {scheme}: {count} entries", file=out)
+    if args.action == "migrate":
+        if args.source is None or args.dest is None:
+            raise ValueError("cache migrate needs SOURCE and DEST store URIs")
+        with resolve_store(args.source) as source, resolve_store(args.dest) as dest:
+            report = migrate_store(
+                source,
+                dest,
+                scheme=args.scheme,
+                verify=not args.no_verify,
+            )
+            print(
+                f"migrated {source.uri()} -> {dest.uri()}: {report.summary()}",
+                file=out,
+            )
         return 0
-    removed = cache.clear()
-    print(f"cache {cache.root}: removed {removed} entries", file=out)
+
+    if args.source is not None or args.dest is not None:
+        raise ValueError(f"cache {args.action} takes no positional arguments")
+    with _open_store(args) as store:
+        if args.action == "info":
+            info = store.info()
+            print(
+                f"store {store.uri()} [{info.backend}]: {info.entries} entries, "
+                f"{info.size_bytes / 1024:.1f} KiB",
+                file=out,
+            )
+            for scheme, count in info.scheme_counts.items():
+                print(f"  seed-scheme {scheme}: {count} entries", file=out)
+            return 0
+        removed = store.clear(scheme=args.scheme)
+        scope = f" ({args.scheme} entries)" if args.scheme is not None else ""
+        print(f"store {store.uri()}: removed {removed} entries{scope}", file=out)
+    return 0
+
+
+def _cmd_rerun_unit(args, out) -> int:
+    text = sys.stdin.read() if args.payload == "-" else args.payload
+    unit = WorkUnit.from_payload(json.loads(text))
+    result = execute_unit(unit)
+    print(json.dumps(encode_result(unit, result)), file=out)
     return 0
 
 
@@ -317,10 +477,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args, out, err)
         if args.command == "cache":
             return _cmd_cache(args, out)
+        if args.command == "rerun-unit":
+            return _cmd_rerun_unit(args, out)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=err)
         return 2
-    except (ValueError, TypeError, KernelUnavailableError) as exc:
+    except json.JSONDecodeError as exc:
+        print(f"error: invalid unit payload: {exc}", file=err)
+        return 2
+    except (
+        ValueError,
+        TypeError,
+        KernelUnavailableError,
+        LeaseUnsupportedError,
+    ) as exc:
         print(f"error: {exc}", file=err)
         return 2
     except KeyboardInterrupt:

@@ -22,8 +22,8 @@ import numpy as np
 from repro.channel.gilbert import paper_grid
 from repro.core.config import SimulationConfig
 from repro.core.metrics import GridResult, SeriesResult
-from repro.runner.cache import ResultCache
 from repro.runner.executors import Executor, resolve_executor
+from repro.runner.fleet import DEFAULT_LEASE_TTL, FleetRunner
 from repro.runner.units import (
     SeedPath,
     UnitResult,
@@ -32,6 +32,7 @@ from repro.runner.units import (
     plan_units,
 )
 from repro.seeds import SchemeSpec, resolve_scheme_name
+from repro.store import ResultStore, resolve_store
 from repro.utils.rng import RandomState, as_seed_int
 from repro.utils.validation import validate_positive_int
 
@@ -40,14 +41,9 @@ ProgressCallback = Callable[[int, int], None]
 #: ``executor=`` accepts a name, an instance, or None (auto from workers).
 ExecutorSpec = Union[str, Executor, None]
 
-#: ``cache=`` accepts a ready cache, a directory path, or None (disabled).
-CacheSpec = Union[ResultCache, str, None]
-
-
-def _resolve_cache(cache: CacheSpec) -> Optional[ResultCache]:
-    if cache is None or isinstance(cache, ResultCache):
-        return cache
-    return ResultCache(cache)
+#: ``cache=`` accepts a ready store, a store URI (``"sqlite:results.db"``),
+#: a bare json-dir directory path, or None (caching disabled).
+CacheSpec = Union[ResultStore, str, None]
 
 
 def _execute(
@@ -55,15 +51,25 @@ def _execute(
     *,
     executor: ExecutorSpec,
     workers: Optional[int],
-    cache: Optional[ResultCache],
+    cache: Optional[ResultStore],
     progress: Optional[ProgressCallback],
     total_cells: int,
+    fleet: bool = False,
+    lease_ttl: Optional[float] = None,
+    worker_id: Optional[str] = None,
 ) -> Dict[Tuple[SeedPath, int], UnitResult]:
-    """Run a planned unit list through cache + executor.
+    """Run a planned unit list through store + executor.
 
     Results are keyed by ``(seed_path, run_start)``.  Progress is reported
     in completed *cells* (sweep points), the unit the historical progress
     callback used; cached cells count as done immediately.
+
+    With ``fleet=True`` the pending units go through the store's lease
+    protocol (:class:`~repro.runner.fleet.FleetRunner`) instead of
+    straight to the executor: concurrent processes sharing the store
+    split the units between them, and units finished elsewhere are loaded
+    rather than executed.  The fleet runner persists results itself
+    (write-before-release), so the engine skips its own ``put``.
     """
     results: Dict[Tuple[SeedPath, int], UnitResult] = {}
     units_per_cell: Dict[SeedPath, int] = {}
@@ -96,11 +102,24 @@ def _execute(
         def on_result(result: UnitResult) -> None:
             key = (result.seed_path, result.run_start)
             results[key] = result
-            if cache is not None:
+            if cache is not None and not fleet:
                 cache.put(unit_by_key[key], result)
             note_done(result.seed_path)
 
-        resolve_executor(executor, workers).run(pending, on_result)
+        runner: Executor = resolve_executor(executor, workers)
+        if fleet:
+            if cache is None:
+                raise ValueError(
+                    "fleet execution needs a shared result store; pass "
+                    "cache= a lease-capable store (e.g. 'sqlite:results.db')"
+                )
+            runner = FleetRunner(
+                cache,
+                executor=runner,
+                worker_id=worker_id,
+                lease_ttl=lease_ttl if lease_ttl is not None else DEFAULT_LEASE_TTL,
+            )
+        runner.run(pending, on_result)
 
     return results
 
@@ -127,6 +146,9 @@ def run_grid(
     fastpath: bool = True,
     kernel: Optional[str] = None,
     seed_scheme: SchemeSpec = None,
+    fleet: bool = False,
+    lease_ttl: Optional[float] = None,
+    worker_id: Optional[str] = None,
 ) -> GridResult:
     """Sweep the Gilbert (p, q) grid for one configuration.
 
@@ -137,6 +159,12 @@ def run_grid(
     combination returns bit-identical arrays.  ``seed_scheme`` selects a
     different :mod:`repro.seeds` derivation (``None``: env / default);
     the resolved name is recorded in the grid metadata.
+
+    ``fleet=True`` executes the sweep cooperatively: units are claimed
+    from the shared ``cache`` store under TTL leases
+    (:mod:`repro.runner.fleet`), so several processes running this exact
+    call against one store split the grid without duplicating work, and
+    every process returns the complete, bit-identical result.
     """
     runs = validate_positive_int(runs, "runs")
     scheme_name = resolve_scheme_name(seed_scheme)
@@ -167,9 +195,12 @@ def run_grid(
         units,
         executor=executor,
         workers=workers,
-        cache=_resolve_cache(cache),
+        cache=resolve_store(cache),
         progress=progress,
         total_cells=len(cells),
+        fleet=fleet,
+        lease_ttl=lease_ttl,
+        worker_id=worker_id,
     )
 
     shape = (p_values.size, q_values.size)
@@ -223,6 +254,9 @@ def run_series(
     fastpath: bool = True,
     kernel: Optional[str] = None,
     seed_scheme: SchemeSpec = None,
+    fleet: bool = False,
+    lease_ttl: Optional[float] = None,
+    worker_id: Optional[str] = None,
     label: str = "",
 ) -> SeriesResult:
     """Sweep a pre-built list of configurations at a fixed (p, q) point.
@@ -231,7 +265,9 @@ def run_series(
     ``SeedSequence([base_seed, index, run])`` and a per-index shared code
     built from ``SeedSequence([base_seed, index])``.  Configurations are
     materialised by the caller (rather than passing a factory callable) so
-    units stay picklable for the process-pool executor.
+    units stay picklable for the process-pool executor.  ``fleet=True``
+    splits the units cooperatively across processes sharing the ``cache``
+    store, as in :func:`run_grid`.
     """
     runs = validate_positive_int(runs, "runs")
     if len(configs) != len(parameter_values):
@@ -259,9 +295,12 @@ def run_series(
         units,
         executor=executor,
         workers=workers,
-        cache=_resolve_cache(cache),
+        cache=resolve_store(cache),
         progress=progress,
         total_cells=len(cells),
+        fleet=fleet,
+        lease_ttl=lease_ttl,
+        worker_id=worker_id,
     )
 
     means = np.full(values.size, np.nan)

@@ -14,8 +14,15 @@ Two strategies are provided behind one tiny interface
 
 ``on_result`` is always invoked in the calling process (for the process
 pool: as futures complete), which is what bridges worker progress back to
-the user's progress callback and lets the engine write the result cache
+the user's progress callback and lets the engine write the result store
 from a single process.
+
+:class:`~repro.runner.fleet.FleetRunner` implements the same protocol on
+top of a shared result store's lease API, wrapping one of these executors
+for the units it wins -- an executor is "how this process runs units",
+the fleet runner is "which units this process gets to run".  Executors
+expose their local parallelism as a ``workers`` attribute so the fleet
+runner can size its claim batches.
 """
 
 from __future__ import annotations
@@ -38,6 +45,9 @@ class Executor(Protocol):
 
 class SerialExecutor:
     """Execute units one after the other in the calling process."""
+
+    #: Local parallelism (fleet claim-batch sizing).
+    workers = 1
 
     def run(self, units: Sequence[WorkUnit], on_result: OnResult) -> None:
         for unit in units:

@@ -21,6 +21,7 @@ the process-pool executor and are hashed into cache keys by
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -97,6 +98,47 @@ class WorkUnit:
     @property
     def runs(self) -> int:
         return self.run_stop - self.run_start
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-compatible snapshot of the unit (store provenance records).
+
+        The snapshot is self-contained: :meth:`from_payload` rebuilds an
+        equal unit on any machine, which is what makes one stored unit
+        re-executable from its provenance record alone
+        (``python -m repro rerun-unit``).
+        """
+        return {
+            "config": dataclasses.asdict(self.config),
+            "p": self.p,
+            "q": self.q,
+            "seed_path": list(self.seed_path),
+            "run_start": self.run_start,
+            "run_stop": self.run_stop,
+            "base_seed": self.base_seed,
+            "fresh_code_per_run": self.fresh_code_per_run,
+            "code_seed_path": None
+            if self.code_seed_path is None
+            else list(self.code_seed_path),
+            "fastpath": self.fastpath,
+            "kernel": self.kernel,
+            "seed_scheme": self.seed_scheme,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "WorkUnit":
+        """Rebuild a unit from a :meth:`to_payload` snapshot."""
+        fields = dict(payload)
+        config = SimulationConfig(**fields.pop("config"))
+        seed_path = tuple(int(x) for x in fields.pop("seed_path"))
+        code_seed_path = fields.pop("code_seed_path", None)
+        if code_seed_path is not None:
+            code_seed_path = tuple(int(x) for x in code_seed_path)
+        return cls(
+            config=config,
+            seed_path=seed_path,
+            code_seed_path=code_seed_path,
+            **fields,
+        )
 
 
 @dataclass(frozen=True)
@@ -187,7 +229,7 @@ _CODE_CACHE_MAX = 8
 
 
 def _shared_code(unit: WorkUnit):
-    from repro.runner.cache import config_token
+    from repro.store.codec import config_token
 
     key = (config_token(unit.config), unit.base_seed, unit.code_seed_path)
     code = _CODE_CACHE.get(key)

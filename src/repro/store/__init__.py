@@ -1,0 +1,83 @@
+"""Pluggable result-store backends behind one :class:`ResultStore` contract.
+
+The store is the durable ledger of what has already been simulated: every
+executed work unit is one entry, keyed by a canonical backend-independent
+hash of the unit's self-describing fields (:mod:`repro.store.codec`).
+Three backends ship behind the registry (:mod:`repro.store.registry`):
+
+* ``json-dir`` (:mod:`repro.store.json_dir`) -- one JSON file per unit
+  under ``.repro_cache/``, byte-compatible with the pre-store cache
+  layout; the default.
+* ``sqlite`` (:mod:`repro.store.sqlite`) -- a single-file WAL-mode
+  database that holds millions of cells with indexed config/scheme
+  lookups, batched upserts, and a provenance table recording the config
+  snapshot, scheme token, code version and exact re-run command per unit.
+* ``memory`` (:mod:`repro.store.memory`) -- process-local, for tests.
+
+Lease-capable backends additionally implement the **work-unit lease
+protocol** (atomic TTL claims, heartbeats, expiry takeover) that
+:mod:`repro.runner.fleet` builds cooperative fleet execution on: N
+independent processes share one store, split one grid with no
+coordinator, and tolerate worker crashes because completed units are
+idempotent upserts.
+
+:mod:`repro.store.migrate` copies entries between backends with read-back
+verification, so existing ``.repro_cache/`` directories are never
+orphaned by switching backends.
+"""
+
+from repro.store.base import (
+    Lease,
+    LeaseUnsupportedError,
+    ResultStore,
+    StoreInfo,
+    StoreRecord,
+    StoreStats,
+)
+from repro.store.codec import (
+    CACHE_FORMAT_VERSION,
+    RESULT_SCHEMA,
+    config_token,
+    decode_payload,
+    encode_result,
+    unit_key,
+    unit_provenance,
+)
+from repro.store.json_dir import DEFAULT_CACHE_DIR, JsonDirStore
+from repro.store.memory import MemoryStore, shared_memory_store
+from repro.store.migrate import MigrationReport, StoreMigrationError, migrate_store
+from repro.store.registry import (
+    StoreSpec,
+    available_backends,
+    register_backend,
+    resolve_store,
+)
+from repro.store.sqlite import SqliteStore
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "Lease",
+    "LeaseUnsupportedError",
+    "MemoryStore",
+    "MigrationReport",
+    "RESULT_SCHEMA",
+    "ResultStore",
+    "SqliteStore",
+    "JsonDirStore",
+    "StoreInfo",
+    "StoreMigrationError",
+    "StoreRecord",
+    "StoreSpec",
+    "StoreStats",
+    "available_backends",
+    "config_token",
+    "decode_payload",
+    "encode_result",
+    "migrate_store",
+    "register_backend",
+    "resolve_store",
+    "shared_memory_store",
+    "unit_key",
+    "unit_provenance",
+]

@@ -1,0 +1,94 @@
+"""Backend registry and store-URI resolution.
+
+A store is named by a URI of the form ``<backend>:<location>``:
+
+* ``json-dir:.repro_cache`` -- the default file-per-unit layout;
+  ``json-dir:`` alone opens the default ``.repro_cache`` directory.
+* ``sqlite:results.db`` -- the single-file WAL-mode database.
+* ``memory:`` -- a fresh in-memory store; ``memory:NAME`` a process-wide
+  shared one (tests).
+
+Anything that does not start with a registered backend name is treated as
+a plain directory path and opened with the json-dir backend -- exactly
+what every pre-store ``cache="some/dir"`` call meant, so existing call
+sites keep working unchanged.  Third-party backends register a factory
+with :func:`register_backend` (an HTTP/object-store backend slots in here
+without touching the engine).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.store.base import ResultStore
+from repro.store.json_dir import DEFAULT_CACHE_DIR, JsonDirStore
+from repro.store.memory import MemoryStore, shared_memory_store
+from repro.store.sqlite import SqliteStore
+
+#: What ``cache=`` / ``store=`` knobs accept: a ready store, a store URI
+#: or bare directory path, or ``None`` (caching disabled).
+StoreSpec = Union[ResultStore, str, Path, None]
+
+#: Backend factories, keyed by URI prefix; each receives the location part.
+_BACKENDS: Dict[str, Callable[[str], ResultStore]] = {}
+
+
+def register_backend(name: str, factory: Callable[[str], ResultStore]) -> None:
+    """Register a backend factory under a URI prefix.
+
+    ``factory(location)`` receives the text after ``<name>:`` and returns
+    an open :class:`ResultStore`.
+    """
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def _make_json_dir(location: str) -> ResultStore:
+    return JsonDirStore(location or DEFAULT_CACHE_DIR)
+
+
+def _make_sqlite(location: str) -> ResultStore:
+    if not location:
+        raise ValueError(
+            "the sqlite store needs a database path: 'sqlite:results.db'"
+        )
+    return SqliteStore(location)
+
+
+def _make_memory(location: str) -> ResultStore:
+    return shared_memory_store(location) if location else MemoryStore()
+
+
+register_backend("json-dir", _make_json_dir)
+register_backend("sqlite", _make_sqlite)
+register_backend("memory", _make_memory)
+
+
+def resolve_store(spec: StoreSpec) -> Optional[ResultStore]:
+    """Open the store a ``cache=`` / ``--store`` spec describes.
+
+    ``None`` and ready :class:`ResultStore` instances pass through; a
+    string is parsed as ``<backend>:<location>`` when the prefix names a
+    registered backend, and as a json-dir directory path otherwise (the
+    historical ``cache="dir"`` behaviour).
+    """
+    if spec is None or isinstance(spec, ResultStore):
+        return spec
+    text = str(spec)
+    name, separator, location = text.partition(":")
+    if separator and name in _BACKENDS:
+        return _BACKENDS[name](location)
+    return _make_json_dir(text)
+
+
+__all__ = [
+    "StoreSpec",
+    "available_backends",
+    "register_backend",
+    "resolve_store",
+]
