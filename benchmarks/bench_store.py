@@ -11,6 +11,12 @@ the decoder trajectory):
   backend's ``put_many`` -- a loop of atomic file replaces for json-dir,
   one batched transaction for sqlite -- which is exactly what a sweep's
   write-back amounts to.
+* **Retry-layer overhead** -- the same sqlite put/get workload through
+  a :class:`repro.resilience.RetryingStore` wrapper with no faults
+  injected, so the number is pure wrapper cost (one extra frame and a
+  closure per store call).  The resilience layer is on for every run
+  that sets a failure policy, so this overhead has a <5% acceptance
+  threshold: the wrapper must be cheap enough to leave enabled.
 * **Fleet wall-clock** -- one grid executed by a single
   ``python -m repro run`` process versus two concurrent ``--fleet``
   processes sharing one sqlite store (the CSVs are asserted
@@ -44,6 +50,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 from _shared import BENCH_SEED  # noqa: E402
 
 from repro.core.config import SimulationConfig
+from repro.resilience import FailurePolicy, RetryingStore
 from repro.runner.units import UnitResult, WorkUnit
 from repro.store import JsonDirStore, SqliteStore
 
@@ -127,6 +134,53 @@ def _measure_backend(name: str, store, items) -> dict:
     return row
 
 
+def _best_readback(store, items, passes: int = 3) -> float:
+    """Best-of-``passes`` seconds for a full get() readback.
+
+    The minimum over warm passes is what isolates per-call wrapper cost;
+    a single cold pass is dominated by page-cache and filesystem noise.
+    """
+    best = None
+    for _ in range(passes):
+        started = time.perf_counter()
+        for unit, result in items:
+            assert store.get(unit) == result
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _measure_retry_overhead(workdir: Path, items) -> dict:
+    """RetryingStore cost on a fault-free sqlite workload.
+
+    Raw and wrapped runs use separate databases so neither benefits from
+    the other's page cache.  The readback (one store call per cell, the
+    shape of a resumed sweep's cache probe) is the per-call hot path
+    being compared; writes happen once per store before timing starts.
+    """
+    raw = SqliteStore(workdir / "retry_raw.db")
+    assert raw.put_many(items) == len(items)
+    raw_elapsed = _best_readback(raw, items)
+    raw.close()
+
+    wrapped = RetryingStore.wrap(
+        SqliteStore(workdir / "retry_wrapped.db"), FailurePolicy()
+    )
+    assert wrapped.put_many(items) == len(items)
+    wrapped_elapsed = _best_readback(wrapped, items)
+    wrapped.close()
+
+    return {
+        "backend": "sqlite",
+        "cells": len(items),
+        "raw_sec": round(raw_elapsed, 3),
+        "retrying_sec": round(wrapped_elapsed, 3),
+        "overhead_pct": round(
+            100.0 * (wrapped_elapsed - raw_elapsed) / raw_elapsed, 1
+        ),
+    }
+
+
 def _run_cli(argv, cwd) -> subprocess.Popen:
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parent.parent / "src")
@@ -201,6 +255,7 @@ def run_benchmark() -> dict:
             _measure_backend("json-dir", JsonDirStore(tmp / "jd"), items),
             _measure_backend("sqlite", SqliteStore(tmp / "bench.db"), items),
         ]
+        retry = _measure_retry_overhead(tmp, items)
         fleet = _measure_fleet(tmp)
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
@@ -213,6 +268,7 @@ def run_benchmark() -> dict:
         "runs_per_unit": RUNS_PER_UNIT,
         "seed": BENCH_SEED,
         "backends": backends,
+        "retry": retry,
         "fleet": fleet,
     }
 
@@ -239,6 +295,11 @@ def main() -> int:
             f"get {row['get_cells_per_sec']:9.1f} cells/s   "
             f"({row['size_bytes'] / 1024:.0f} KiB)"
         )
+    retry = entry["retry"]
+    print(
+        f"  retry    raw {retry['raw_sec']:.3f}s vs wrapped "
+        f"{retry['retrying_sec']:.3f}s ({retry['overhead_pct']:+.1f}% overhead)"
+    )
     fleet = entry["fleet"]
     print(
         f"  fleet ({fleet['experiment']}/{fleet['scale']}, runs={fleet['runs']}, "

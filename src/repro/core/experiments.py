@@ -284,6 +284,7 @@ def run_experiment(
     fleet: bool = False,
     lease_ttl: Optional[float] = None,
     worker_id: Optional[str] = None,
+    failure_policy=None,
     progress_factory: Optional[ProgressFactory] = None,
 ) -> Dict[str, GridResult]:
     """Run every configuration of an experiment and return grids by label.
@@ -307,6 +308,11 @@ def run_experiment(
         :func:`repro.core.sweep.simulate_grid`): with ``fleet=True``,
         processes sharing the ``cache`` store split each grid under TTL
         leases and all return the complete, bit-identical result.
+    failure_policy:
+        Optional :class:`repro.resilience.FailurePolicy` forwarded to
+        every sweep: retries with deterministic backoff, per-unit
+        timeouts, and skip/quarantine handling of units that exhaust
+        their attempts.
     progress_factory:
         Called with the 1-based index of each configuration before its
         sweep; returns that sweep's ``(done, total)`` progress callback.
@@ -335,6 +341,7 @@ def run_experiment(
             fleet=fleet,
             lease_ttl=lease_ttl,
             worker_id=worker_id,
+            failure_policy=failure_policy,
         )
         results[config.display_label] = grid
     return results

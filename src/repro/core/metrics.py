@@ -332,6 +332,7 @@ class SeriesResult:
     failure_counts: np.ndarray
     runs: int
     label: str = ""
+    metadata: dict = field(default_factory=dict)
 
     def best_parameter(self) -> float:
         """Parameter value with the smallest mean inefficiency."""

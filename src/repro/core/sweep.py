@@ -26,6 +26,7 @@ from repro.runner.engine import (
     run_grid,
     run_series,
 )
+from repro.resilience.policy import FailurePolicy
 from repro.seeds import SchemeSpec
 from repro.utils.rng import RandomState
 
@@ -48,6 +49,7 @@ def simulate_grid(
     fleet: bool = False,
     lease_ttl: Optional[float] = None,
     worker_id: Optional[str] = None,
+    failure_policy: Optional[FailurePolicy] = None,
 ) -> GridResult:
     """Sweep the Gilbert (p, q) grid for one configuration.
 
@@ -105,6 +107,11 @@ def simulate_grid(
     lease_ttl, worker_id:
         Fleet knobs: lease time-to-live in seconds and the worker's
         fleet-unique identity (default ``<hostname>:<pid>``).
+    failure_policy:
+        Optional :class:`repro.resilience.FailurePolicy`: retry failing
+        units with deterministic backoff, bound their runtime, and skip
+        or quarantine units that exhaust their attempts instead of
+        aborting the sweep (see :mod:`repro.resilience`).
     """
     return run_grid(
         config,
@@ -123,6 +130,7 @@ def simulate_grid(
         fleet=fleet,
         lease_ttl=lease_ttl,
         worker_id=worker_id,
+        failure_policy=failure_policy,
     )
 
 
@@ -146,6 +154,7 @@ def sweep_parameter(
     fleet: bool = False,
     lease_ttl: Optional[float] = None,
     worker_id: Optional[str] = None,
+    failure_policy: Optional[FailurePolicy] = None,
     label: str = "",
 ) -> SeriesResult:
     """Sweep an arbitrary scalar parameter at a fixed (p, q) point.
@@ -196,6 +205,7 @@ def sweep_parameter(
         fleet=fleet,
         lease_ttl=lease_ttl,
         worker_id=worker_id,
+        failure_policy=failure_policy,
         label=label,
     )
 

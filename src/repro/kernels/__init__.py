@@ -41,6 +41,7 @@ from repro.kernels.registry import (
     cext_compiler_available,
     default_backend_name,
     get_backend,
+    get_backend_for_run,
     numba_available,
     register_backend,
 )
@@ -62,4 +63,5 @@ __all__ = [
     "cext_compiler_available",
     "AUTO_ORDER",
     "get_backend",
+    "get_backend_for_run",
 ]

@@ -19,10 +19,13 @@ silently degrading -- silent degradation is reserved for ``auto``.
 from __future__ import annotations
 
 import importlib.util
+import logging
 import os
 from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.kernels.base import KernelBackend
+
+logger = logging.getLogger("repro.kernels")
 
 #: Environment variable consulted when no explicit kernel is given.
 ENV_VAR = "REPRO_KERNEL"
@@ -145,6 +148,36 @@ def get_backend(kernel: KernelSpec = None) -> KernelBackend:
     return _construct("numpy")
 
 
+def get_backend_for_run(kernel: KernelSpec = None) -> KernelBackend:
+    """Resolve a kernel for an *already running* sweep, degrading on failure.
+
+    Planning-time resolution (:func:`get_backend`) fails fast so a typo'd
+    ``--kernel`` aborts before any simulation.  At run time the trade-off
+    flips: a backend that resolved on the coordinator can still fail to
+    construct in a worker process (no C compiler on this host, a numba
+    install that crashes on import), and aborting a half-finished sweep
+    over a wall-clock knob would throw away work.  All kernel backends
+    are bit-identical, so the safe move is to fall back down the ``auto``
+    chain with a logged warning and keep the results flowing.
+    """
+    try:
+        return get_backend(kernel)
+    except (KernelUnavailableError, ValueError) as error:
+        requested = kernel
+        if requested is None:
+            requested = os.environ.get(ENV_VAR, "").strip() or "auto"
+        logger.warning(
+            "kernel backend %r failed to construct at run time (%s); "
+            "falling back to auto selection",
+            requested,
+            error,
+        )
+        # ``auto`` never raises; it degrades through AUTO_ORDER down to
+        # numpy.  Passed explicitly so a broken REPRO_KERNEL value is
+        # not consulted a second time.
+        return get_backend("auto")
+
+
 def _numpy_factory() -> KernelBackend:
     from repro.kernels.numpy_backend import NumpyBackend
 
@@ -186,4 +219,5 @@ __all__ = [
     "numba_available",
     "cext_compiler_available",
     "get_backend",
+    "get_backend_for_run",
 ]

@@ -1,0 +1,206 @@
+"""Store-backed quarantine report: which units failed, and how to rerun.
+
+When a failure policy says ``on_error="quarantine"``, a unit that
+exhausted its attempts is recorded *in the result store itself* under a
+prefixed key -- machine-readable, shared by every fleet worker, and
+inspectable later with ``python -m repro cache info``.  Each record
+carries the unit's self-describing payload and the exact
+``python -m repro rerun-unit`` command, so a quarantined cell can be
+retried on any machine (and ``rerun-unit --store`` heals the store by
+writing the result and deleting the quarantine record).
+
+Quarantine keys are the unit key behind the ``q-`` prefix: distinct from
+every result key (unit keys are pure hex), and ``"q-"[:2]`` is still a
+two-character shard, so the json-dir backend's ``??/*.json`` layout and
+prefix scans keep working unchanged.  The payload's ``schema`` field is
+the non-numeric ``"quarantine/v1"``, which
+:func:`repro.store.codec.decode_payload` rejects -- a quarantine record
+can never satisfy a result lookup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.resilience.policy import UnitFailure
+from repro.runner.units import WorkUnit
+from repro.store.base import ResultStore
+from repro.store.codec import rerun_command
+
+#: Prefix distinguishing quarantine records from result entries.  Two
+#: characters on purpose: json-dir shards on ``key[:2]``, so quarantine
+#: records land in one ``q-/`` shard directory next to the hex shards.
+QUARANTINE_PREFIX = "q-"
+
+#: Payload schema token of quarantine records.  Deliberately not an
+#: integer: ``decode_payload`` requires ``int(schema) == RESULT_SCHEMA``,
+#: so these records are invisible to result lookups by construction.
+QUARANTINE_SCHEMA = "quarantine/v1"
+
+
+def quarantine_key(unit_key: str) -> str:
+    """The store key holding the quarantine record of ``unit_key``."""
+    return QUARANTINE_PREFIX + unit_key
+
+
+def is_quarantine_payload(payload: Dict[str, Any]) -> bool:
+    return payload.get("schema") == QUARANTINE_SCHEMA
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One decoded quarantine record."""
+
+    unit_key: str
+    seed_scheme: str
+    seed_path: tuple
+    run_start: int
+    run_stop: int
+    error_type: str
+    message: str
+    attempts: int
+    worker: str
+    rerun: str
+    unit_payload: Dict[str, Any]
+
+    def describe(self) -> str:
+        return (
+            f"unit {self.unit_key[:12]} (cell {tuple(self.seed_path)}, runs "
+            f"[{self.run_start}, {self.run_stop})): {self.error_type}: "
+            f"{self.message} [{self.attempts} attempt(s), worker "
+            f"{self.worker or '-'}]"
+        )
+
+    def as_failure(self) -> UnitFailure:
+        """The recorded verdict as a :class:`UnitFailure` (fleet absorption)."""
+        return UnitFailure(
+            unit_key=self.unit_key,
+            seed_path=tuple(self.seed_path),
+            run_start=self.run_start,
+            run_stop=self.run_stop,
+            error_type=self.error_type,
+            message=self.message,
+            attempts=self.attempts,
+            unit_payload=self.unit_payload,
+        )
+
+
+def quarantine_record(
+    failure: UnitFailure, *, worker: Optional[str] = None
+) -> Dict[str, Any]:
+    """The store payload of one quarantined unit.
+
+    ``schema`` and ``seed_scheme`` come first, mirroring result entries,
+    so the json-dir backend's prefix-based scheme scan classifies
+    quarantine records without reading whole files.
+    """
+    unit = WorkUnit.from_payload(failure.unit_payload)
+    return {
+        "schema": QUARANTINE_SCHEMA,
+        "seed_scheme": unit.seed_scheme,
+        "unit_key": failure.unit_key,
+        "seed_path": list(failure.seed_path),
+        "run_start": failure.run_start,
+        "run_stop": failure.run_stop,
+        "error_type": failure.error_type,
+        "message": failure.message,
+        "attempts": failure.attempts,
+        "worker": worker or "",
+        "quarantined": time.time(),
+        "rerun_command": rerun_command(unit),
+        "unit": failure.unit_payload,
+    }
+
+
+def write_quarantine(
+    store: ResultStore, failure: UnitFailure, *, worker: Optional[str] = None
+) -> str:
+    """Record ``failure`` in the store; returns the quarantine key.
+
+    Idempotent upsert like every store write: two fleet workers
+    quarantining the same poisoned unit converge on one record.
+    """
+    key = quarantine_key(failure.unit_key)
+    store.put_record(key, quarantine_record(failure, worker=worker))
+    return key
+
+
+def is_quarantined(store: ResultStore, unit_key: str) -> bool:
+    """Whether ``unit_key`` has a quarantine record in ``store``."""
+    payload = store.get_record(quarantine_key(unit_key))
+    return payload is not None and is_quarantine_payload(payload)
+
+
+def read_quarantine(store: ResultStore, unit_key: str) -> Optional[QuarantineEntry]:
+    """The decoded quarantine record of ``unit_key``, if any."""
+    key = quarantine_key(unit_key)
+    payload = store.get_record(key)
+    if payload is None:
+        return None
+    return _decode_entry(key, payload)
+
+
+def clear_quarantine(store: ResultStore, unit_key: str) -> bool:
+    """Remove the quarantine record of ``unit_key`` (after a healing rerun)."""
+    return store.delete_record(quarantine_key(unit_key))
+
+
+def _decode_entry(key: str, payload: Dict[str, Any]) -> Optional[QuarantineEntry]:
+    if not is_quarantine_payload(payload):
+        return None
+    try:
+        return QuarantineEntry(
+            unit_key=str(payload.get("unit_key") or key[len(QUARANTINE_PREFIX):]),
+            seed_scheme=str(payload.get("seed_scheme") or "per-run"),
+            seed_path=tuple(payload.get("seed_path") or ()),
+            run_start=int(payload.get("run_start", 0)),
+            run_stop=int(payload.get("run_stop", 0)),
+            error_type=str(payload.get("error_type") or "Exception"),
+            message=str(payload.get("message") or ""),
+            attempts=int(payload.get("attempts", 1)),
+            worker=str(payload.get("worker") or ""),
+            rerun=str(payload.get("rerun_command") or ""),
+            unit_payload=dict(payload.get("unit") or {}),
+        )
+    except (ValueError, TypeError):
+        return None
+
+
+def quarantine_entries(store: ResultStore) -> List[QuarantineEntry]:
+    """Every quarantine record in ``store``, sorted by unit key."""
+    entries = []
+    for record in store.records():
+        entry = _decode_entry(record.key, record.payload)
+        if entry is not None:
+            entries.append(entry)
+    return sorted(entries, key=lambda entry: entry.unit_key)
+
+
+def format_quarantine_report(entries: List[QuarantineEntry]) -> str:
+    """Human-readable quarantine section (``cache info``, post-run report)."""
+    if not entries:
+        return "quarantine: empty"
+    lines = [f"quarantine: {len(entries)} unit(s)"]
+    for entry in entries:
+        lines.append(f"  {entry.describe()}")
+        if entry.rerun:
+            lines.append(f"    rerun: {entry.rerun}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "QUARANTINE_PREFIX",
+    "QUARANTINE_SCHEMA",
+    "QuarantineEntry",
+    "clear_quarantine",
+    "format_quarantine_report",
+    "is_quarantine_payload",
+    "is_quarantined",
+    "quarantine_entries",
+    "quarantine_key",
+    "quarantine_record",
+    "read_quarantine",
+    "write_quarantine",
+]

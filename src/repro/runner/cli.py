@@ -57,6 +57,14 @@ from repro.core.experiments import (
     run_experiment,
 )
 from repro.kernels import KernelUnavailableError, get_backend
+from repro.resilience import (
+    ON_ERROR_ACTIONS,
+    FailurePolicy,
+    ResilienceError,
+    clear_quarantine,
+    format_quarantine_report,
+    quarantine_entries,
+)
 from repro.runner.cache import DEFAULT_CACHE_DIR
 from repro.runner.fleet import DEFAULT_LEASE_TTL
 from repro.runner.units import WorkUnit, execute_unit
@@ -68,6 +76,7 @@ from repro.store import (
     migrate_store,
     resolve_store,
 )
+from repro.store.codec import unit_key as compute_unit_key
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -201,6 +210,39 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "retry a failing work unit up to N times with deterministic "
+            "exponential backoff before applying --on-error (default: "
+            "no failure policy -- the first unit error aborts the run)"
+        ),
+    )
+    run.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "treat a work-unit attempt running longer than this as failed "
+            "(counts against --max-retries)"
+        ),
+    )
+    run.add_argument(
+        "--on-error",
+        choices=ON_ERROR_ACTIONS,
+        default=None,
+        help=(
+            "what to do with a unit that exhausts its retries: 'raise' "
+            "aborts the run (default), 'skip' drops the unit (its cell "
+            "aggregates from the surviving runs), 'quarantine' also "
+            "records it in the store with the exact rerun command "
+            "(inspect with 'cache info', heal with 'rerun-unit --store')"
+        ),
+    )
+    run.add_argument(
         "--csv-dir",
         default=None,
         help="write one CSV grid per configuration into this directory",
@@ -277,6 +319,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "('-' reads it from stdin)"
         ),
     )
+    rerun.add_argument(
+        "--store",
+        default=None,
+        metavar="URI",
+        help=(
+            "also write the result into this store and clear the unit's "
+            "quarantine record, healing a quarantined cell in place"
+        ),
+    )
 
     return parser
 
@@ -336,6 +387,19 @@ def _cmd_run(args, out, err) -> int:
     # Resolve the scheme up front too: an unknown --seed-scheme (or a
     # stale REPRO_SEED_SCHEME) fails fast with the registered names.
     scheme_name = resolve_scheme_name(args.seed_scheme)
+    policy = None
+    if (
+        args.max_retries is not None
+        or args.unit_timeout is not None
+        or args.on_error is not None
+    ):
+        policy = FailurePolicy(
+            max_retries=args.max_retries if args.max_retries is not None else 0,
+            unit_timeout=args.unit_timeout,
+            on_error=args.on_error if args.on_error is not None else "raise",
+        )
+    if policy is not None and policy.on_error == "quarantine" and cache is None:
+        raise ValueError("--on-error quarantine needs a result store; drop --no-cache")
 
     print(
         f"{spec.paper_reference}: {spec.title}\n"
@@ -344,7 +408,12 @@ def _cmd_run(args, out, err) -> int:
         f"store={'off' if cache is None else cache.uri()} "
         f"fastpath={'on' if args.fastpath else 'off'}"
         + (f" kernel={kernel_name}" if kernel_name else "")
-        + (f" fleet=on ttl={args.lease_ttl:g}s" if args.fleet else ""),
+        + (f" fleet=on ttl={args.lease_ttl:g}s" if args.fleet else "")
+        + (
+            f" retries={policy.max_retries} on-error={policy.on_error}"
+            if policy is not None
+            else ""
+        ),
         file=out,
     )
 
@@ -366,6 +435,7 @@ def _cmd_run(args, out, err) -> int:
         config_index = index
         return progress
 
+    quarantined = []
     try:
         results = run_experiment(
             args.experiment,
@@ -381,8 +451,11 @@ def _cmd_run(args, out, err) -> int:
             fleet=args.fleet,
             lease_ttl=args.lease_ttl,
             worker_id=args.worker_id,
+            failure_policy=policy,
             progress_factory=per_config_progress,
         )
+        if policy is not None and policy.on_error == "quarantine" and cache is not None:
+            quarantined = quarantine_entries(cache)
     finally:
         if cache is not None:
             cache.close()
@@ -410,6 +483,9 @@ def _cmd_run(args, out, err) -> int:
             destination = csv_dir / f"{spec.experiment_id}_{label_slug(label)}.csv"
             grid_to_csv(grid, destination)
             print(f"  wrote {destination}", file=out)
+
+    if quarantined:
+        print(format_quarantine_report(quarantined), file=out)
 
     summary = f"done in {elapsed:.1f}s"
     if cache is not None:
@@ -450,6 +526,9 @@ def _cmd_cache(args, out) -> int:
             )
             for scheme, count in info.scheme_counts.items():
                 print(f"  seed-scheme {scheme}: {count} entries", file=out)
+            entries = quarantine_entries(store)
+            if entries:
+                print(format_quarantine_report(entries), file=out)
             return 0
         removed = store.clear(scheme=args.scheme)
         scope = f" ({args.scheme} entries)" if args.scheme is not None else ""
@@ -462,6 +541,15 @@ def _cmd_rerun_unit(args, out) -> int:
     unit = WorkUnit.from_payload(json.loads(text))
     result = execute_unit(unit)
     print(json.dumps(encode_result(unit, result)), file=out)
+    if args.store is not None:
+        with resolve_store(args.store) as store:
+            store.put(unit, result)
+            healed = clear_quarantine(store, compute_unit_key(unit))
+        print(
+            f"stored unit {compute_unit_key(unit)[:12]} in {args.store}"
+            + (" (quarantine record cleared)" if healed else ""),
+            file=out,
+        )
     return 0
 
 
@@ -490,6 +578,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         TypeError,
         KernelUnavailableError,
         LeaseUnsupportedError,
+        ResilienceError,
     ) as exc:
         print(f"error: {exc}", file=err)
         return 2

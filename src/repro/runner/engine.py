@@ -22,6 +22,14 @@ import numpy as np
 from repro.channel.gilbert import paper_grid
 from repro.core.config import SimulationConfig
 from repro.core.metrics import GridResult, SeriesResult
+from repro.resilience.policy import (
+    FailurePolicy,
+    UnitFailure,
+    failure_summary,
+    resolve_policy,
+)
+from repro.resilience.report import write_quarantine
+from repro.resilience.retry import RetryingStore
 from repro.runner.executors import Executor, resolve_executor
 from repro.runner.fleet import DEFAULT_LEASE_TTL, FleetRunner
 from repro.runner.units import (
@@ -57,7 +65,8 @@ def _execute(
     fleet: bool = False,
     lease_ttl: Optional[float] = None,
     worker_id: Optional[str] = None,
-) -> Dict[Tuple[SeedPath, int], UnitResult]:
+    failure_policy: Optional[FailurePolicy] = None,
+) -> Tuple[Dict[Tuple[SeedPath, int], UnitResult], List[UnitFailure]]:
     """Run a planned unit list through store + executor.
 
     Results are keyed by ``(seed_path, run_start)``.  Progress is reported
@@ -70,8 +79,20 @@ def _execute(
     split the units between them, and units finished elsewhere are loaded
     rather than executed.  The fleet runner persists results itself
     (write-before-release), so the engine skips its own ``put``.
+
+    With a ``failure_policy``, store traffic goes through a
+    :class:`RetryingStore`, units retry per the policy, and units that
+    exhaust their attempts are returned as the second element (empty on a
+    fully clean run) instead of aborting the sweep -- unless the policy
+    says ``on_error="raise"``, which escalates the first poison unit.
+    Skipped/quarantined cells aggregate from whatever results they do
+    have (a wholly failed cell becomes the paper's NaN rule).
     """
+    failure_policy = resolve_policy(failure_policy)
+    if failure_policy is not None:
+        cache = RetryingStore.wrap(cache, failure_policy)
     results: Dict[Tuple[SeedPath, int], UnitResult] = {}
+    failures: List[UnitFailure] = []
     units_per_cell: Dict[SeedPath, int] = {}
     for unit in units:
         units_per_cell[unit.seed_path] = units_per_cell.get(unit.seed_path, 0) + 1
@@ -106,7 +127,21 @@ def _execute(
                 cache.put(unit_by_key[key], result)
             note_done(result.seed_path)
 
-        runner: Executor = resolve_executor(executor, workers)
+        def on_failure(failure: UnitFailure) -> None:
+            failures.append(failure)
+            if (
+                not fleet
+                and cache is not None
+                and failure_policy is not None
+                and failure_policy.on_error == "quarantine"
+            ):
+                # The fleet runner writes its own quarantine records
+                # (verdict-before-release ordering); solo runs record
+                # them here so ``cache info`` sees them either way.
+                write_quarantine(cache, failure)
+            note_done(failure.seed_path)
+
+        runner: Executor = resolve_executor(executor, workers, failure_policy)
         if fleet:
             if cache is None:
                 raise ValueError(
@@ -118,10 +153,14 @@ def _execute(
                 executor=runner,
                 worker_id=worker_id,
                 lease_ttl=lease_ttl if lease_ttl is not None else DEFAULT_LEASE_TTL,
+                policy=failure_policy,
             )
-        runner.run(pending, on_result)
+        if failure_policy is None:
+            runner.run(pending, on_result)
+        else:
+            runner.run(pending, on_result, on_failure)
 
-    return results
+    return results, failures
 
 
 def _cell_results(
@@ -149,6 +188,7 @@ def run_grid(
     fleet: bool = False,
     lease_ttl: Optional[float] = None,
     worker_id: Optional[str] = None,
+    failure_policy: Optional[FailurePolicy] = None,
 ) -> GridResult:
     """Sweep the Gilbert (p, q) grid for one configuration.
 
@@ -191,7 +231,7 @@ def run_grid(
         kernel=kernel,
         seed_scheme=scheme_name,
     )
-    results = _execute(
+    results, unit_failures = _execute(
         units,
         executor=executor,
         workers=workers,
@@ -201,6 +241,7 @@ def run_grid(
         fleet=fleet,
         lease_ttl=lease_ttl,
         worker_id=worker_id,
+        failure_policy=failure_policy,
     )
 
     shape = (p_values.size, q_values.size)
@@ -216,6 +257,17 @@ def run_grid(
             mean_received[i, j] = received
             failure_counts[i, j] = failures
 
+    metadata = {
+        "code": config.code,
+        "tx_model": config.tx_model,
+        "k": config.k,
+        "expansion_ratio": config.expansion_ratio,
+        "nsent": config.nsent,
+        "seed": base_seed,
+        "seed_scheme": scheme_name,
+    }
+    if unit_failures:
+        metadata["failed_units"] = [failure_summary(f) for f in unit_failures]
     return GridResult(
         p_values=p_values,
         q_values=q_values,
@@ -224,15 +276,7 @@ def run_grid(
         failure_counts=failure_counts,
         runs=runs,
         label=config.display_label,
-        metadata={
-            "code": config.code,
-            "tx_model": config.tx_model,
-            "k": config.k,
-            "expansion_ratio": config.expansion_ratio,
-            "nsent": config.nsent,
-            "seed": base_seed,
-            "seed_scheme": scheme_name,
-        },
+        metadata=metadata,
     )
 
 
@@ -257,6 +301,7 @@ def run_series(
     fleet: bool = False,
     lease_ttl: Optional[float] = None,
     worker_id: Optional[str] = None,
+    failure_policy: Optional[FailurePolicy] = None,
     label: str = "",
 ) -> SeriesResult:
     """Sweep a pre-built list of configurations at a fixed (p, q) point.
@@ -291,7 +336,7 @@ def run_series(
         kernel=kernel,
         seed_scheme=scheme_name,
     )
-    results = _execute(
+    results, unit_failures = _execute(
         units,
         executor=executor,
         workers=workers,
@@ -301,24 +346,29 @@ def run_series(
         fleet=fleet,
         lease_ttl=lease_ttl,
         worker_id=worker_id,
+        failure_policy=failure_policy,
     )
 
     means = np.full(values.size, np.nan)
-    failures = np.zeros(values.size, dtype=np.int64)
+    cell_failures_array = np.zeros(values.size, dtype=np.int64)
     for index in range(values.size):
         mean_inefficiency, _received, cell_failures = merge_cell(
             _cell_results(results, (index,))
         )
         means[index] = mean_inefficiency
-        failures[index] = cell_failures
+        cell_failures_array[index] = cell_failures
 
+    metadata = {"seed": base_seed, "seed_scheme": scheme_name}
+    if unit_failures:
+        metadata["failed_units"] = [failure_summary(f) for f in unit_failures]
     return SeriesResult(
         parameter_name=parameter_name,
         parameter_values=values,
         mean_inefficiency=means,
-        failure_counts=failures,
+        failure_counts=cell_failures_array,
         runs=runs,
         label=label,
+        metadata=metadata,
     )
 
 

@@ -17,6 +17,18 @@ pool: as futures complete), which is what bridges worker progress back to
 the user's progress callback and lets the engine write the result store
 from a single process.
 
+Both executors optionally carry a
+:class:`~repro.resilience.policy.FailurePolicy`.  Without one (the
+default) a unit that raises kills the run exactly as it always did.
+With one, each unit is retried with deterministic backoff (and an
+optional per-attempt timeout), and a unit that exhausts its attempts is
+*dispatched*: ``on_error="raise"`` raises
+:class:`~repro.resilience.errors.PoisonUnitError`, the skip/quarantine
+actions hand a structured :class:`~repro.resilience.policy.UnitFailure`
+to the ``on_failure`` callback.  The retry loop runs inside the worker
+process (outcomes are picklable), so the policy costs nothing on the
+fault-free path.
+
 :class:`~repro.runner.fleet.FleetRunner` implements the same protocol on
 top of a shared result store's lease API, wrapping one of these executors
 for the units it wins -- an executor is "how this process runs units",
@@ -29,18 +41,57 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from functools import partial
 from typing import Callable, Optional, Protocol, Sequence, Union
 
+from repro.resilience.errors import PoisonUnitError
+from repro.resilience.policy import (
+    FailurePolicy,
+    UnitFailure,
+    UnitOutcome,
+    resolve_policy,
+    run_unit_with_policy,
+    run_units_with_policy,
+)
 from repro.runner.units import UnitResult, WorkUnit, execute_unit, execute_units
 from repro.utils.validation import validate_positive_int
 
 OnResult = Callable[[UnitResult], None]
+OnFailure = Callable[[UnitFailure], None]
 
 
 class Executor(Protocol):
     """Anything that can execute work units and stream back results."""
 
-    def run(self, units: Sequence[WorkUnit], on_result: OnResult) -> None: ...
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        on_result: OnResult,
+        on_failure: Optional[OnFailure] = None,
+    ) -> None: ...
+
+
+def deliver_outcome(
+    outcome: UnitOutcome,
+    policy: FailurePolicy,
+    on_result: OnResult,
+    on_failure: Optional[OnFailure],
+) -> None:
+    """Dispatch one policy outcome: result, failure callback, or raise.
+
+    ``on_error="raise"`` (and a missing ``on_failure`` sink, whatever the
+    action) escalates to :class:`PoisonUnitError` carrying the structured
+    failure -- the caller that configured skip/quarantine always provides
+    the sink, so the error path cannot silently drop units.
+    """
+    if outcome.result is not None:
+        on_result(outcome.result)
+        return
+    failure = outcome.failure
+    assert failure is not None
+    if policy.on_error == "raise" or on_failure is None:
+        raise PoisonUnitError(failure.describe(), failure)
+    on_failure(failure)
 
 
 class SerialExecutor:
@@ -49,9 +100,28 @@ class SerialExecutor:
     #: Local parallelism (fleet claim-batch sizing).
     workers = 1
 
-    def run(self, units: Sequence[WorkUnit], on_result: OnResult) -> None:
+    def __init__(self, policy: Optional[FailurePolicy] = None):
+        self.policy = resolve_policy(policy)
+
+    def _execute_one(self, unit: WorkUnit) -> UnitResult:
+        """Execution hook (fault-injecting test executors override it)."""
+        return execute_unit(unit)
+
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        on_result: OnResult,
+        on_failure: Optional[OnFailure] = None,
+    ) -> None:
+        if self.policy is None:
+            for unit in units:
+                on_result(self._execute_one(unit))
+            return
         for unit in units:
-            on_result(execute_unit(unit))
+            outcome = run_unit_with_policy(
+                unit, self.policy, execute=self._execute_one
+            )
+            deliver_outcome(outcome, self.policy, on_result, on_failure)
 
 
 class ProcessExecutor:
@@ -69,6 +139,10 @@ class ProcessExecutor:
     max_pending:
         Cap on in-flight chunks, so planning a paper-scale sweep does not
         enqueue tens of thousands of futures at once.
+    policy:
+        Optional :class:`FailurePolicy`.  The retry loop runs inside each
+        worker process; outcomes come back picklable and are dispatched
+        (result / failure / raise) in the calling process.
     """
 
     def __init__(
@@ -77,6 +151,7 @@ class ProcessExecutor:
         *,
         chunk_size: Optional[int] = None,
         max_pending: Optional[int] = None,
+        policy: Optional[FailurePolicy] = None,
     ):
         if workers is None:
             workers = os.cpu_count() or 1
@@ -89,6 +164,7 @@ class ProcessExecutor:
             if max_pending is not None
             else 4 * self.workers
         )
+        self.policy = resolve_policy(policy)
 
     def _chunks(self, units: Sequence[WorkUnit]) -> list[list[WorkUnit]]:
         if self.chunk_size is not None:
@@ -97,9 +173,18 @@ class ProcessExecutor:
             size = max(1, len(units) // (4 * self.workers))
         return [list(units[i : i + size]) for i in range(0, len(units), size)]
 
-    def run(self, units: Sequence[WorkUnit], on_result: OnResult) -> None:
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        on_result: OnResult,
+        on_failure: Optional[OnFailure] = None,
+    ) -> None:
         if not units:
             return
+        if self.policy is None:
+            task = execute_units
+        else:
+            task = partial(run_units_with_policy, policy=self.policy)
         chunks = self._chunks(units)
         with ProcessPoolExecutor(max_workers=min(self.workers, len(chunks))) as pool:
             pending = set()
@@ -111,24 +196,32 @@ class ProcessExecutor:
                     if chunk is None:
                         exhausted = True
                         break
-                    pending.add(pool.submit(execute_units, chunk))
+                    pending.add(pool.submit(task, chunk))
                 if not pending:
                     break
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    for result in future.result():
-                        on_result(result)
+                    if self.policy is None:
+                        for result in future.result():
+                            on_result(result)
+                    else:
+                        for outcome in future.result():
+                            deliver_outcome(
+                                outcome, self.policy, on_result, on_failure
+                            )
 
 
 def resolve_executor(
     executor: Union[str, Executor, None],
     workers: Optional[int] = None,
+    policy: Optional[FailurePolicy] = None,
 ) -> Executor:
     """Build an executor from the user-facing ``executor``/``workers`` knobs.
 
-    ``executor`` may be an executor instance (returned as-is), ``"serial"``,
-    ``"process"``, or ``None`` -- which picks the process pool when more
-    than one worker was requested and the serial path otherwise.
+    ``executor`` may be an executor instance (returned as-is -- the caller
+    owns its policy), ``"serial"``, ``"process"``, or ``None`` -- which
+    picks the process pool when more than one worker was requested and the
+    serial path otherwise.
     """
     if executor is None:
         executor = "process" if workers is not None and workers > 1 else "serial"
@@ -136,9 +229,9 @@ def resolve_executor(
         return executor
     name = executor.lower()
     if name == "serial":
-        return SerialExecutor()
+        return SerialExecutor(policy=policy)
     if name == "process":
-        return ProcessExecutor(workers)
+        return ProcessExecutor(workers, policy=policy)
     raise ValueError(
         f"unknown executor {executor!r}; available: 'serial', 'process'"
     )
@@ -149,5 +242,7 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "resolve_executor",
+    "deliver_outcome",
     "OnResult",
+    "OnFailure",
 ]

@@ -34,6 +34,7 @@ so each member of the fleet returns the complete, bit-identical sweep.
 
 from __future__ import annotations
 
+import logging
 import os
 import socket
 import threading
@@ -41,10 +42,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.runner.executors import Executor, OnResult, SerialExecutor
+from repro.resilience.errors import PoisonUnitError, StoreUnavailableError
+from repro.resilience.policy import FailurePolicy, UnitFailure, resolve_policy
+from repro.resilience.report import read_quarantine, write_quarantine
+from repro.resilience.retry import RetryingStore
+from repro.runner.executors import Executor, OnFailure, OnResult, SerialExecutor
 from repro.runner.units import UnitResult, WorkUnit
 from repro.store.base import ResultStore
 from repro.store.codec import decode_payload, unit_key
+
+logger = logging.getLogger("repro.fleet")
 
 #: Default lease TTL: long enough that one chunk of tiny-scale units plus
 #: scheduling jitter never outlives it between heartbeats, short enough
@@ -64,11 +71,30 @@ class FleetStats:
     executed: int = 0
     absorbed: int = 0
     reclaim_waits: int = 0
+    failed: int = 0
     executed_keys: List[str] = field(default_factory=list)
+    failed_keys: List[str] = field(default_factory=list)
+
+
+#: Consecutive heartbeat failures tolerated before the thread gives up.
+#: Anything transient (a locked sqlite file, an NFS hiccup) clears well
+#: inside this window; past it the leases are expiring anyway, so the
+#: worker must stop executing rather than race its own takeover.
+HEARTBEAT_FAILURE_LIMIT = 5
 
 
 class _Heartbeat:
-    """Daemon thread refreshing the leases a worker currently holds."""
+    """Daemon thread refreshing the leases a worker currently holds.
+
+    Transient store errors (:class:`StoreUnavailableError`) are logged and
+    retried on the next tick; :data:`HEARTBEAT_FAILURE_LIMIT` consecutive
+    misses -- or any unexpected exception -- stop the thread and surface
+    through :attr:`failure`, which the fleet loop checks every iteration.
+    A heartbeat that dies silently is worse than one that crashes the run:
+    the worker would keep executing units whose leases have expired and
+    been taken over, reintroducing the duplicated execution the lease
+    protocol exists to prevent.
+    """
 
     def __init__(self, store: ResultStore, worker: str, ttl: float, interval: float):
         self._store = store
@@ -79,6 +105,8 @@ class _Heartbeat:
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        self._failure: Optional[BaseException] = None
+        self._misses = 0
 
     def hold(self, keys: Sequence[str]) -> None:
         with self._lock:
@@ -88,15 +116,49 @@ class _Heartbeat:
         with self._lock:
             self._held.discard(key)
 
-    def _beat_once(self) -> None:
+    @property
+    def failure(self) -> Optional[BaseException]:
+        with self._lock:
+            return self._failure
+
+    def _beat_once(self) -> bool:
+        """Refresh the held leases; True when a heartbeat actually ran."""
         with self._lock:
             keys = sorted(self._held)
-        if keys:
-            self._store.heartbeat(keys, self._worker, self._ttl)
+        if not keys:
+            return False
+        self._store.heartbeat(keys, self._worker, self._ttl)
+        return True
 
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
-            self._beat_once()
+            try:
+                beat = self._beat_once()
+            except StoreUnavailableError as error:
+                self._misses += 1
+                logger.warning(
+                    "fleet heartbeat for %s missed a beat (%d/%d): %s",
+                    self._worker,
+                    self._misses,
+                    HEARTBEAT_FAILURE_LIMIT,
+                    error,
+                )
+                if self._misses >= HEARTBEAT_FAILURE_LIMIT:
+                    with self._lock:
+                        self._failure = StoreUnavailableError(
+                            f"fleet heartbeat for {self._worker} gave up after "
+                            f"{self._misses} consecutive store failures: {error}"
+                        )
+                    return
+            except BaseException as error:  # pragma: no cover - defensive
+                with self._lock:
+                    self._failure = error
+                return
+            else:
+                # Only an actual successful heartbeat is evidence the
+                # store recovered; an idle (no leases held) tick is not.
+                if beat:
+                    self._misses = 0
 
     def __enter__(self) -> "_Heartbeat":
         self._thread = threading.Thread(
@@ -139,6 +201,13 @@ class FleetRunner:
     claim_batch:
         Units to claim per loop iteration (default: enough to keep the
         local executor's workers busy).
+    policy:
+        Optional :class:`FailurePolicy`.  When set, the store is wrapped
+        in a :class:`RetryingStore` (claims/heartbeats/writes survive
+        transient outages) and failed units follow the policy's
+        ``on_error`` action: ``quarantine`` writes a store-backed
+        quarantine record *before* releasing the lease, so peers see the
+        verdict and never re-execute the poison unit.
     """
 
     def __init__(
@@ -151,13 +220,19 @@ class FleetRunner:
         heartbeat_interval: Optional[float] = None,
         poll_interval: Optional[float] = None,
         claim_batch: Optional[int] = None,
+        policy: Optional[FailurePolicy] = None,
     ):
         if not store.supports_leases:
             raise store._lease_unsupported()
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be positive, got {lease_ttl!r}")
+        self.policy = resolve_policy(policy)
+        if self.policy is not None:
+            store = RetryingStore.wrap(store, self.policy)
         self.store = store
-        self.executor: Executor = executor if executor is not None else SerialExecutor()
+        self.executor: Executor = (
+            executor if executor is not None else SerialExecutor(policy=self.policy)
+        )
         self.worker_id = worker_id if worker_id is not None else default_worker_id()
         self.lease_ttl = float(lease_ttl)
         self.heartbeat_interval = (
@@ -177,16 +252,45 @@ class FleetRunner:
         self.claim_batch = max(1, int(claim_batch))
         self.stats = FleetStats()
 
-    def run(self, units: Sequence[WorkUnit], on_result: OnResult) -> None:
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        on_result: OnResult,
+        on_failure: Optional[OnFailure] = None,
+    ) -> None:
         pending: Dict[str, WorkUnit] = {unit_key(unit): unit for unit in units}
         key_by_identity: Dict[Tuple[tuple, int], str] = {
             (unit.seed_path, unit.run_start): key for key, unit in pending.items()
         }
+        quarantining = (
+            self.policy is not None
+            and self.policy.on_error == "quarantine"
+            and on_failure is not None
+        )
+
+        def check_heartbeat(heartbeat: "_Heartbeat") -> None:
+            failure = heartbeat.failure
+            if failure is not None:
+                raise failure
+
+        def absorb_quarantined(key: str) -> bool:
+            """Adopt a peer's quarantine verdict instead of re-executing."""
+            if not quarantining:
+                return False
+            entry = read_quarantine(self.store, key)
+            if entry is None:
+                return False
+            del pending[key]
+            self.stats.failed += 1
+            self.stats.failed_keys.append(key)
+            on_failure(entry.as_failure())
+            return True
 
         with _Heartbeat(
             self.store, self.worker_id, self.lease_ttl, self.heartbeat_interval
         ) as heartbeat:
             while pending:
+                check_heartbeat(heartbeat)
                 # 1. Claim a batch.  The store arbitrates: every open
                 # unit is won by exactly one live worker.  A failed claim
                 # means the unit is finished or leased elsewhere -- only
@@ -213,6 +317,20 @@ class FleetRunner:
                         del pending[key]
                         self.stats.absorbed += 1
                         on_result(result)
+
+                # A claim can also win a unit a peer already condemned
+                # (quarantine releases the lease after writing the
+                # verdict); adopting the record instead of re-executing
+                # is what keeps a poisoned unit from burning every
+                # worker's retry budget in turn.
+                survivors: List[WorkUnit] = []
+                for unit in claimed:
+                    key = unit_key(unit)
+                    if absorb_quarantined(key):
+                        self.store.release(key, self.worker_id)
+                    else:
+                        survivors.append(unit)
+                claimed = survivors
                 if not pending:
                     break
 
@@ -230,6 +348,7 @@ class FleetRunner:
                 heartbeat.hold([unit_key(unit) for unit in claimed])
 
                 def on_executed(result: UnitResult) -> None:
+                    check_heartbeat(heartbeat)
                     key = key_by_identity[(result.seed_path, result.run_start)]
                     unit = pending.pop(key)
                     self.store.put(unit, result)
@@ -239,11 +358,45 @@ class FleetRunner:
                     self.stats.executed_keys.append(key)
                     on_result(result)
 
-                self.executor.run(claimed, on_executed)
+                def on_failed(failure: UnitFailure) -> None:
+                    # Verdict before release: a unit is never both
+                    # unleased and unaccounted-for.  Peers that claim the
+                    # released lease find the record and absorb it.
+                    key = failure.unit_key
+                    pending.pop(key, None)
+                    if self.policy is not None and self.policy.on_error == "quarantine":
+                        write_quarantine(self.store, failure, worker=self.worker_id)
+                    self.store.release(key, self.worker_id)
+                    heartbeat.drop(key)
+                    self.stats.failed += 1
+                    self.stats.failed_keys.append(key)
+                    if on_failure is not None:
+                        on_failure(failure)
+
+                try:
+                    if self.policy is None:
+                        # Historical two-argument call, preserved so
+                        # executor stubs written against the old protocol
+                        # keep working when no policy is in play.
+                        self.executor.run(claimed, on_executed)
+                    else:
+                        self.executor.run(claimed, on_executed, on_failed)
+                except PoisonUnitError:
+                    # on_error="raise": free the batch's outstanding
+                    # leases so a restarted run (or a peer) is not stuck
+                    # waiting out the TTL on units this worker will
+                    # never finish.
+                    for unit in claimed:
+                        key = unit_key(unit)
+                        if key in pending:
+                            self.store.release(key, self.worker_id)
+                            heartbeat.drop(key)
+                    raise
 
 
 __all__ = [
     "DEFAULT_LEASE_TTL",
+    "HEARTBEAT_FAILURE_LIMIT",
     "FleetRunner",
     "FleetStats",
     "default_worker_id",

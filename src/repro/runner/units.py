@@ -265,9 +265,18 @@ def _unit_batch(unit: WorkUnit) -> RunResultBatch:
     run-synthesis pipeline as arrays (fastpath) or is decoded by the
     incremental reference decoder (``fastpath=False``); either way the
     cell metrics are computed from columns, never from per-run objects.
+
+    The kernel backend is resolved here, in the *executing* process,
+    through the degrading run-time resolver: a backend that cannot be
+    constructed on this host (missing compiler, broken numba install)
+    falls back down the ``auto`` chain with a logged warning instead of
+    killing the unit -- all backends are bit-identical, so degradation
+    never changes results.
     """
     from repro.fastpath import simulate_batch_columnar
+    from repro.kernels.registry import get_backend_for_run
 
+    kernel = get_backend_for_run(unit.kernel)
     tx_model = unit.config.build_tx_model()
     channel = GilbertChannel(unit.p, unit.q)
     streams = _unit_streams(unit)
@@ -286,7 +295,7 @@ def _unit_batch(unit: WorkUnit) -> RunResultBatch:
                 channel,
                 streams,
                 nsent=unit.config.nsent,
-                kernel=unit.kernel,
+                kernel=kernel,
             )
         if streams.unit_rng is not None:
             # Unit-batching scheme: the front end is scheme-defined block
@@ -302,7 +311,7 @@ def _unit_batch(unit: WorkUnit) -> RunResultBatch:
                 streams.unit_rng,
                 streams.runs,
                 nsent=unit.config.nsent,
-                kernel=unit.kernel,
+                kernel=kernel,
             )
             return decode_batch_incremental(code, synthesis)
         simulator = Simulator(code, tx_model, channel)
@@ -328,7 +337,7 @@ def _unit_batch(unit: WorkUnit) -> RunResultBatch:
                     channel,
                     [run_rng],
                     nsent=unit.config.nsent,
-                    kernel=unit.kernel,
+                    kernel=kernel,
                 )
             )
         return RunResultBatch.concatenate(batches)

@@ -34,6 +34,7 @@ from repro.store.base import (
     StoreRecord,
     StoreStats,
 )
+from repro.store.chaos import ChaosConfig, ChaosStore
 from repro.store.codec import (
     CACHE_FORMAT_VERSION,
     RESULT_SCHEMA,
@@ -52,10 +53,13 @@ from repro.store.registry import (
     register_backend,
     resolve_store,
 )
-from repro.store.sqlite import SqliteStore
+from repro.store.sqlite import DEFAULT_BUSY_TIMEOUT, SqliteStore
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "ChaosConfig",
+    "ChaosStore",
+    "DEFAULT_BUSY_TIMEOUT",
     "DEFAULT_CACHE_DIR",
     "Lease",
     "LeaseUnsupportedError",

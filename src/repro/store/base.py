@@ -143,6 +143,17 @@ class ResultStore(abc.ABC):
         migration); backends with a provenance layer record it.
         """
 
+    def delete_record(self, key: str) -> bool:
+        """Remove the entry stored under ``key``; ``True`` if one existed.
+
+        Used by the quarantine workflow (a healed unit's quarantine
+        record is deleted after a successful rerun); backends without
+        record deletion inherit this error.
+        """
+        raise NotImplementedError(
+            f"store backend {self.backend!r} does not support record deletion"
+        )
+
     @abc.abstractmethod
     def records(self) -> Iterator[StoreRecord]:
         """Iterate every readable entry (migration's source side)."""

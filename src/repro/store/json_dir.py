@@ -33,6 +33,7 @@ from collections import Counter
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
+from repro.resilience.errors import StoreUnavailableError
 from repro.runner.units import WorkUnit
 from repro.store.base import Lease, ResultStore, StoreRecord
 from repro.store.codec import dump_entry
@@ -82,20 +83,40 @@ class JsonDirStore(ResultStore):
         unit: Optional[WorkUnit] = None,
     ) -> None:
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle, tmp_path = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle, tmp_path = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+        except OSError as error:
+            # A directory that cannot be created or written is transient
+            # from the sweep's point of view (full disk, flaky network
+            # filesystem): let the retry layer have a go before the
+            # failure surfaces.
+            raise StoreUnavailableError(
+                f"json-dir store {self.root} is not writable: {error}"
+            ) from error
         try:
             with os.fdopen(handle, "w", encoding="utf-8") as stream:
                 stream.write(dump_entry(payload))
             os.replace(tmp_path, path)
-        except BaseException:
+        except BaseException as error:
             try:
                 os.unlink(tmp_path)
             except OSError:
                 pass
+            if isinstance(error, OSError):
+                raise StoreUnavailableError(
+                    f"json-dir store {self.root} write failed: {error}"
+                ) from error
             raise
+
+    def delete_record(self, key: str) -> bool:
+        try:
+            self._path(key).unlink()
+        except OSError:
+            return False
+        return True
 
     def records(self) -> Iterator[StoreRecord]:
         if not self.root.is_dir():
@@ -211,6 +232,13 @@ class JsonDirStore(ResultStore):
             return True
         lease = self._read_lease(path)
         if lease is not None and not lease.expired(time.time()):
+            # Re-claiming a lease this worker already holds succeeds
+            # (and refreshes it): claims are idempotent per worker, so
+            # a claim whose acknowledgement was lost to a transient
+            # store error can simply be retried.
+            if lease.worker == worker:
+                self.heartbeat([key], worker, ttl)
+                return True
             return False
         # Expired (or unreadable, i.e. a crashed writer): take it over.
         # Every racer may unlink the stale file, but O_EXCL guarantees

@@ -74,6 +74,10 @@ class MemoryStore(ResultStore):
         with self._lock:
             self._entries[key] = normalised
 
+    def delete_record(self, key: str) -> bool:
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
     def records(self) -> Iterator[StoreRecord]:
         with self._lock:
             snapshot = sorted(self._entries.items())
@@ -115,6 +119,14 @@ class MemoryStore(ResultStore):
                 return False
             lease = self._leases.get(key)
             if lease is not None and not lease.expired(now):
+                # Per-worker idempotent: re-claiming a held lease
+                # refreshes it, so claims lost to transient store
+                # errors can be retried safely.
+                if lease.worker == worker:
+                    self._leases[key] = Lease(
+                        key=key, worker=worker, expires=now + ttl
+                    )
+                    return True
                 return False
             self._leases[key] = Lease(key=key, worker=worker, expires=now + ttl)
             return True

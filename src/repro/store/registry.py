@@ -68,6 +68,12 @@ register_backend("json-dir", _make_json_dir)
 register_backend("sqlite", _make_sqlite)
 register_backend("memory", _make_memory)
 
+# Fault-injecting chaos wrappers (``chaos+sqlite:...``) register through
+# the same mechanism; imported after the built-ins they wrap.
+from repro.store import chaos as _chaos  # noqa: E402  (needs register_backend)
+
+_chaos.register_chaos_backends()
+
 
 def resolve_store(spec: StoreSpec) -> Optional[ResultStore]:
     """Open the store a ``cache=`` / ``--store`` spec describes.

@@ -35,9 +35,11 @@ import json
 import sqlite3
 import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro.resilience.errors import StoreUnavailableError
 from repro.runner.units import UnitResult, WorkUnit
 from repro.store.base import Lease, ResultStore, StoreRecord
 from repro.store.codec import (
@@ -50,6 +52,21 @@ from repro.store.codec import (
 
 #: Bump when the database layout changes shape.
 SQLITE_STORE_SCHEMA = 1
+
+#: Default seconds SQLite waits on a locked database before giving up --
+#: applied both as the connection timeout and the ``busy_timeout`` pragma
+#: on every connection path, so cross-process contention blocks briefly
+#: instead of failing instantly.
+DEFAULT_BUSY_TIMEOUT = 30.0
+
+#: ``sqlite3.OperationalError`` messages that mark *transient* contention
+#: (retry-worthy) rather than permanent failure.
+_TRANSIENT_MARKERS = ("database is locked", "database table is locked", "busy")
+
+
+def _is_transient(error: sqlite3.OperationalError) -> bool:
+    message = str(error).lower()
+    return any(marker in message for marker in _TRANSIENT_MARKERS)
 
 _TABLES = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -90,7 +107,9 @@ class SqliteStore(ResultStore):
     backend = "sqlite"
     supports_leases = True
 
-    def __init__(self, path: Union[str, Path], *, timeout: float = 30.0):
+    def __init__(
+        self, path: Union[str, Path], *, timeout: float = DEFAULT_BUSY_TIMEOUT
+    ):
         super().__init__()
         self.path = Path(path)
         if self.path.parent != Path(""):
@@ -104,15 +123,50 @@ class SqliteStore(ResultStore):
             check_same_thread=False,
         )
         self._lock = threading.RLock()
-        with self._lock:
+        with self._lock, self._guard():
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
-            self._conn.execute(f"PRAGMA busy_timeout={int(timeout * 1000)}")
+            # Never zero: an unset busy timeout turns every cross-process
+            # race into an instant "database is locked" failure.
+            self._conn.execute(
+                f"PRAGMA busy_timeout={max(int(timeout * 1000), 100)}"
+            )
             self._conn.executescript(_TABLES)
             self._conn.execute(
                 "INSERT OR IGNORE INTO meta(key, value) VALUES('store_schema', ?)",
                 (str(SQLITE_STORE_SCHEMA),),
             )
+
+    def _rollback(self) -> None:
+        """Best-effort rollback that never masks the original error.
+
+        When ``BEGIN IMMEDIATE`` itself failed (locked database), there
+        is no transaction to roll back and a bare ``ROLLBACK`` would
+        raise "cannot rollback - no transaction is active" *over* the
+        real failure.
+        """
+        try:
+            self._conn.execute("ROLLBACK")
+        except sqlite3.Error:
+            pass
+
+    @contextmanager
+    def _guard(self):
+        """Map transient SQLite contention to :class:`StoreUnavailableError`.
+
+        The retry layer (:class:`repro.resilience.retry.RetryingStore`)
+        retries exactly that type; permanent failures -- corruption,
+        programming errors, a closed connection -- keep their original
+        exception class and surface immediately.
+        """
+        try:
+            yield
+        except sqlite3.OperationalError as error:
+            if _is_transient(error):
+                raise StoreUnavailableError(
+                    f"sqlite store {self.path} is busy: {error}"
+                ) from error
+            raise
 
     def location(self) -> str:
         return str(self.path)
@@ -130,7 +184,7 @@ class SqliteStore(ResultStore):
         return (key, scheme, config, dump_entry(payload), time.time())
 
     def get_record(self, key: str) -> Optional[Dict[str, Any]]:
-        with self._lock:
+        with self._lock, self._guard():
             row = self._conn.execute(
                 "SELECT payload FROM results WHERE key = ?", (key,)
             ).fetchone()
@@ -158,7 +212,7 @@ class SqliteStore(ResultStore):
         unit: Optional[WorkUnit] = None,
     ) -> None:
         fields = self._row_fields(key, payload, unit)
-        with self._lock:
+        with self._lock, self._guard():
             self._conn.execute("BEGIN IMMEDIATE")
             try:
                 self._conn.execute(self._UPSERT, fields)
@@ -166,7 +220,7 @@ class SqliteStore(ResultStore):
                     self._put_provenance(key, unit)
                 self._conn.execute("COMMIT")
             except BaseException:
-                self._conn.execute("ROLLBACK")
+                self._rollback()
                 raise
 
     def _put_provenance(self, key: str, unit: WorkUnit) -> None:
@@ -206,7 +260,7 @@ class SqliteStore(ResultStore):
             units.append((key, unit))
         if not rows:
             return 0
-        with self._lock:
+        with self._lock, self._guard():
             self._conn.execute("BEGIN IMMEDIATE")
             try:
                 self._conn.executemany(self._UPSERT, rows)
@@ -214,13 +268,29 @@ class SqliteStore(ResultStore):
                     self._put_provenance(key, unit)
                 self._conn.execute("COMMIT")
             except BaseException:
-                self._conn.execute("ROLLBACK")
+                self._rollback()
                 raise
         self.stats.writes += len(rows)
         return len(rows)
 
+    def delete_record(self, key: str) -> bool:
+        with self._lock, self._guard():
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                cursor = self._conn.execute(
+                    "DELETE FROM results WHERE key = ?", (key,)
+                )
+                self._conn.execute(
+                    "DELETE FROM provenance WHERE key = ?", (key,)
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._rollback()
+                raise
+        return cursor.rowcount > 0
+
     def records(self) -> Iterator[StoreRecord]:
-        with self._lock:
+        with self._lock, self._guard():
             rows = self._conn.execute(
                 "SELECT key, payload FROM results ORDER BY key"
             ).fetchall()
@@ -233,7 +303,7 @@ class SqliteStore(ResultStore):
                 yield StoreRecord(key=key, payload=payload)
 
     def __len__(self) -> int:
-        with self._lock:
+        with self._lock, self._guard():
             (count,) = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()
         return int(count)
 
@@ -249,7 +319,7 @@ class SqliteStore(ResultStore):
 
     def scheme_counts(self) -> Dict[str, int]:
         """Per-scheme entry counts from one indexed aggregate query."""
-        with self._lock:
+        with self._lock, self._guard():
             rows = self._conn.execute(
                 "SELECT seed_scheme, COUNT(*) FROM results "
                 "GROUP BY seed_scheme ORDER BY seed_scheme"
@@ -257,7 +327,7 @@ class SqliteStore(ResultStore):
         return {scheme: int(count) for scheme, count in rows}
 
     def clear(self, scheme: Optional[str] = None) -> int:
-        with self._lock:
+        with self._lock, self._guard():
             self._conn.execute("BEGIN IMMEDIATE")
             try:
                 if scheme is None:
@@ -277,13 +347,13 @@ class SqliteStore(ResultStore):
                     )
                 self._conn.execute("COMMIT")
             except BaseException:
-                self._conn.execute("ROLLBACK")
+                self._rollback()
                 raise
         return int(removed)
 
     def provenance(self, key: str) -> Optional[Dict[str, Any]]:
         """The provenance record of one executed unit, or ``None``."""
-        with self._lock:
+        with self._lock, self._guard():
             row = self._conn.execute(
                 "SELECT unit, config, seed_scheme, code_version, "
                 "rerun_command, created FROM provenance WHERE key = ?",
@@ -304,7 +374,7 @@ class SqliteStore(ResultStore):
 
     def claim(self, key: str, worker: str, ttl: float) -> bool:
         now = time.time()
-        with self._lock:
+        with self._lock, self._guard():
             self._conn.execute("BEGIN IMMEDIATE")
             try:
                 done = self._conn.execute(
@@ -313,25 +383,30 @@ class SqliteStore(ResultStore):
                 if done is not None:
                     self._conn.execute("ROLLBACK")
                     return False
+                # A worker re-claiming a lease it already holds wins
+                # (refreshing the expiry): claims are idempotent per
+                # worker, so a claim whose *acknowledgement* was lost to
+                # a transient store error can simply be retried.
                 cursor = self._conn.execute(
                     "INSERT INTO leases(key, worker, expires, claimed, heartbeats) "
                     "VALUES(?, ?, ?, ?, 0) "
                     "ON CONFLICT(key) DO UPDATE SET worker=excluded.worker, "
                     "expires=excluded.expires, claimed=excluded.claimed, "
-                    "heartbeats=0 WHERE leases.expires <= ?",
+                    "heartbeats=0 WHERE leases.expires <= ? "
+                    "OR leases.worker = excluded.worker",
                     (key, worker, now + ttl, now, now),
                 )
                 claimed = cursor.rowcount == 1
                 self._conn.execute("COMMIT")
             except BaseException:
-                self._conn.execute("ROLLBACK")
+                self._rollback()
                 raise
         return claimed
 
     def heartbeat(self, keys: Iterable[str], worker: str, ttl: float) -> int:
         expires = time.time() + ttl
         extended = 0
-        with self._lock:
+        with self._lock, self._guard():
             self._conn.execute("BEGIN IMMEDIATE")
             try:
                 for key in keys:
@@ -343,18 +418,18 @@ class SqliteStore(ResultStore):
                     extended += cursor.rowcount
                 self._conn.execute("COMMIT")
             except BaseException:
-                self._conn.execute("ROLLBACK")
+                self._rollback()
                 raise
         return extended
 
     def release(self, key: str, worker: str) -> None:
-        with self._lock:
+        with self._lock, self._guard():
             self._conn.execute(
                 "DELETE FROM leases WHERE key = ? AND worker = ?", (key, worker)
             )
 
     def leases(self) -> List[Lease]:
-        with self._lock:
+        with self._lock, self._guard():
             rows = self._conn.execute(
                 "SELECT key, worker, expires FROM leases ORDER BY key"
             ).fetchall()
@@ -367,4 +442,4 @@ class SqliteStore(ResultStore):
             self._conn.close()
 
 
-__all__ = ["SQLITE_STORE_SCHEMA", "SqliteStore"]
+__all__ = ["DEFAULT_BUSY_TIMEOUT", "SQLITE_STORE_SCHEMA", "SqliteStore"]
