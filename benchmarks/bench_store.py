@@ -5,12 +5,15 @@ Two measurements, appended to ``benchmarks/BENCH.json`` as one entry of
 the decoder trajectory):
 
 * **Backend throughput** -- ``put`` / ``get`` cells per second for the
-  ``json-dir`` and ``sqlite`` backends over 10 000 synthetic unit
-  results (representative tiny-cell payloads; the store cost is what is
-  being measured, not the simulation).  ``put`` goes through each
-  backend's ``put_many`` -- a loop of atomic file replaces for json-dir,
-  one batched transaction for sqlite -- which is exactly what a sweep's
-  write-back amounts to.
+  ``json-dir``, ``sqlite`` and ``http`` backends over 10 000 synthetic
+  unit results (representative tiny-cell payloads; the store cost is
+  what is being measured, not the simulation).  ``put`` goes through
+  each backend's ``put_many`` -- a loop of atomic file replaces for
+  json-dir, one batched transaction for sqlite, one JSON request for
+  http -- which is exactly what a sweep's write-back amounts to.  The
+  http row serves a sqlite store over loopback in-process, so its delta
+  against the sqlite row is the cost of the network hop itself
+  (JSON encode + HTTP round-trip per ``get``, one batch per ``put``).
 * **Retry-layer overhead** -- the same sqlite put/get workload through
   a :class:`repro.resilience.RetryingStore` wrapper with no faults
   injected, so the number is pure wrapper cost (one extra frame and a
@@ -19,14 +22,17 @@ the decoder trajectory):
   threshold: the wrapper must be cheap enough to leave enabled.
 * **Fleet wall-clock** -- one grid executed by a single
   ``python -m repro run`` process versus two concurrent ``--fleet``
-  processes sharing one sqlite store (the CSVs are asserted
-  bit-identical first).  This measures the lease protocol's cost, not
-  decode throughput: the entry records the host's CPU count, and with
-  both workers pinned to one core (as in CI containers) the fleet can at
+  processes sharing one sqlite store, and versus the same two workers
+  reaching that sqlite store only through a ``cache serve`` HTTP server
+  on loopback (the CSVs are asserted bit-identical in every
+  configuration).  This measures the lease protocol's cost, not decode
+  throughput: the entry records the host's CPU count, and with both
+  workers pinned to one core (as in CI containers) the fleet can at
   best tie the single process, so the interesting number is the
-  *overhead* -- wall-clock added by claim/heartbeat/release plus the
-  second interpreter -- which stays modest because failed claims, not
-  full rescans, drive result absorption.
+  *overhead* -- wall-clock added by claim/heartbeat/release (plus, for
+  the http rows, a JSON round-trip per store call) -- which stays
+  modest because failed claims, not full rescans, drive result
+  absorption.
 
 Run with ``PYTHONPATH=src python benchmarks/bench_store.py``.
 """
@@ -52,7 +58,7 @@ from _shared import BENCH_SEED  # noqa: E402
 from repro.core.config import SimulationConfig
 from repro.resilience import FailurePolicy, RetryingStore
 from repro.runner.units import UnitResult, WorkUnit
-from repro.store import JsonDirStore, SqliteStore
+from repro.store import HttpStore, JsonDirStore, SqliteStore, StoreServer
 
 #: Version-controlled performance ledger (shared with the decoder bench).
 BENCH_JSON = Path(__file__).parent / "BENCH.json"
@@ -181,6 +187,22 @@ def _measure_retry_overhead(workdir: Path, items) -> dict:
     }
 
 
+def _measure_http_backend(workdir: Path, items) -> dict:
+    """Throughput through the http backend over an in-process server.
+
+    Fronts the same sqlite backend the ``sqlite`` row measures directly,
+    so the two rows differ only by the loopback HTTP hop.
+    """
+    inner = SqliteStore(workdir / "http_inner.db")
+    server = StoreServer(inner, port=0).start()
+    try:
+        client = HttpStore(f"{server.host}:{server.port}")
+        return _measure_backend("http", client, items)
+    finally:
+        server.shutdown()
+        inner.close()
+
+
 def _run_cli(argv, cwd) -> subprocess.Popen:
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parent.parent / "src")
@@ -226,13 +248,38 @@ def _measure_fleet(workdir: Path) -> dict:
     fleet_elapsed = time.perf_counter() - started
     assert all(worker.returncode == 0 for worker in workers)
 
+    # Same two-worker fleet, but the sqlite store now sits behind an
+    # in-process `cache serve` HTTP server on loopback -- the multi-host
+    # deployment shape, minus the physical network.
+    inner = SqliteStore(workdir / "http_fleet.db")
+    server = StoreServer(inner, port=0).start()
+    try:
+        started = time.perf_counter()
+        workers = [
+            _run_cli(
+                (*base, "--store", f"http:{server.host}:{server.port}",
+                 "--fleet", "--worker-id", f"h{index}",
+                 "--csv-dir", str(workdir / f"csv_h{index}")),
+                workdir,
+            )
+            for index in range(2)
+        ]
+        for worker in workers:
+            worker.communicate()
+        http_elapsed = time.perf_counter() - started
+        assert all(worker.returncode == 0 for worker in workers)
+    finally:
+        server.shutdown()
+        inner.close()
+
     references = sorted((workdir / "csv_single").glob("*.csv"))
     assert references
-    for index in range(2):
-        twins = sorted((workdir / f"csv_w{index}").glob("*.csv"))
-        assert [t.name for t in twins] == [r.name for r in references]
-        for twin, reference in zip(twins, references):
-            assert twin.read_bytes() == reference.read_bytes(), "fleet != single"
+    for prefix in ("csv_w", "csv_h"):
+        for index in range(2):
+            twins = sorted((workdir / f"{prefix}{index}").glob("*.csv"))
+            assert [t.name for t in twins] == [r.name for r in references]
+            for twin, reference in zip(twins, references):
+                assert twin.read_bytes() == reference.read_bytes(), "fleet != single"
 
     return {
         "experiment": FLEET_EXPERIMENT,
@@ -244,6 +291,10 @@ def _measure_fleet(workdir: Path) -> dict:
         "fleet_overhead_pct": round(
             100.0 * (fleet_elapsed - single_elapsed) / single_elapsed, 1
         ),
+        "http_fleet_2_workers_sec": round(http_elapsed, 2),
+        "http_fleet_overhead_pct": round(
+            100.0 * (http_elapsed - single_elapsed) / single_elapsed, 1
+        ),
     }
 
 
@@ -254,6 +305,7 @@ def run_benchmark() -> dict:
         backends = [
             _measure_backend("json-dir", JsonDirStore(tmp / "jd"), items),
             _measure_backend("sqlite", SqliteStore(tmp / "bench.db"), items),
+            _measure_http_backend(tmp, items),
         ]
         retry = _measure_retry_overhead(tmp, items)
         fleet = _measure_fleet(tmp)
@@ -306,6 +358,12 @@ def main() -> int:
         f"{fleet['cpus']} cpu): single {fleet['single_process_sec']:.2f}s vs "
         f"2 workers {fleet['fleet_2_workers_sec']:.2f}s "
         f"({fleet['fleet_overhead_pct']:+.1f}% wall-clock, CSVs bit-identical)"
+    )
+    print(
+        f"  fleet over http (cache serve on loopback): 2 workers "
+        f"{fleet['http_fleet_2_workers_sec']:.2f}s "
+        f"({fleet['http_fleet_overhead_pct']:+.1f}% vs single, "
+        f"CSVs bit-identical)"
     )
     destination = append_to_bench_json(entry)
     print(f"recorded in {destination}")

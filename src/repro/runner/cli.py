@@ -18,10 +18,12 @@ Subcommands
     CSV / appendix-style table output through the analysis layer.
 ``cache``
     Inspect (``cache info``), empty (``cache clear``, optionally
-    ``--scheme`` for one seed scheme's entries) or migrate
-    (``cache migrate SRC DST``) a result store; every action accepts a
-    store URI (``json-dir:PATH``, ``sqlite:PATH``, ``memory:NAME`` or a
-    bare json-dir path).
+    ``--scheme`` for one seed scheme's entries), migrate
+    (``cache migrate SRC DST``) or serve (``cache serve SRC --host
+    --port [--token]``: front the store with the HTTP server so remote
+    workers reach it via ``--store http:HOST:PORT``) a result store;
+    every action accepts a store URI (``json-dir:PATH``, ``sqlite:PATH``,
+    ``memory:NAME``, ``http:HOST:PORT`` or a bare json-dir path).
 ``rerun-unit``
     Re-execute one work unit from its provenance payload (the exact
     command recorded by the sqlite backend) and print the result payload.
@@ -36,6 +38,8 @@ Examples
     python -m repro run table5 --scale small --runs 2 --csv-dir results/
     python -m repro cache info --store sqlite:fig09.db
     python -m repro cache migrate .repro_cache sqlite:results.db
+    python -m repro cache serve sqlite:fig09.db --host 0.0.0.0 --port 8737
+    python -m repro run fig09 --store http:192.0.2.10:8737 --fleet
 """
 
 from __future__ import annotations
@@ -70,8 +74,12 @@ from repro.runner.fleet import DEFAULT_LEASE_TTL
 from repro.runner.units import WorkUnit, execute_unit
 from repro.seeds import resolve_scheme_name
 from repro.store import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    HttpStoreError,
     LeaseUnsupportedError,
     ResultStore,
+    StoreServer,
     encode_result,
     migrate_store,
     resolve_store,
@@ -141,8 +149,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "result-store URI: 'json-dir:PATH' (the historical file-per-"
             "unit layout), 'sqlite:PATH' (single-file indexed store, "
-            "recommended for large sweeps and fleets), 'memory:NAME', or "
-            "a bare directory path (json-dir).  Overrides --cache-dir"
+            "recommended for large sweeps and fleets), 'memory:NAME', "
+            "'http:HOST:PORT' (a remote store behind 'cache serve' -- "
+            "what multi-host fleets use), or a bare directory path "
+            "(json-dir).  Overrides --cache-dir"
         ),
     )
     run.add_argument(
@@ -243,6 +253,19 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--store-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "retry a transiently failing store operation (connection "
+            "refused, timeout, 5xx, locked database) up to N times with "
+            "deterministic backoff before giving up (default: 3 when any "
+            "failure-policy flag is set; raise it so fleet workers ride "
+            "out a result-store server restart)"
+        ),
+    )
+    run.add_argument(
         "--csv-dir",
         default=None,
         help="write one CSV grid per configuration into this directory",
@@ -261,11 +284,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cache.add_argument(
         "action",
-        choices=("info", "clear", "migrate"),
+        choices=("info", "clear", "migrate", "serve"),
         help=(
             "info: entry count, size and per-scheme breakdown; clear: "
             "delete entries (all, or one --scheme's); migrate: copy every "
-            "entry from SOURCE to DEST, verifying the round-trip"
+            "entry from SOURCE to DEST, verifying the round-trip; serve: "
+            "front the SOURCE store with the HTTP result-store server so "
+            "remote fleet workers reach it via --store http:HOST:PORT"
         ),
     )
     cache.add_argument(
@@ -273,7 +298,7 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         metavar="SOURCE",
-        help="migrate: source store URI or json-dir path",
+        help="migrate: source store URI; serve: the store to front",
     )
     cache.add_argument(
         "dest",
@@ -306,6 +331,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-verify",
         action="store_true",
         help="migrate: skip the per-entry round-trip verification",
+    )
+    cache.add_argument(
+        "--host",
+        default=DEFAULT_HOST,
+        help=(
+            f"serve: bind address (default: {DEFAULT_HOST}; use 0.0.0.0 "
+            f"to accept remote workers)"
+        ),
+    )
+    cache.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=(
+            f"serve: bind port (default: {DEFAULT_PORT}; 0 binds an "
+            f"ephemeral port and prints it)"
+        ),
+    )
+    cache.add_argument(
+        "--token",
+        default=None,
+        metavar="SECRET",
+        help=(
+            "serve: require this bearer token from every client (workers "
+            "append '?token=SECRET' to their http: store URI)"
+        ),
     )
 
     rerun = subparsers.add_parser(
@@ -392,11 +443,16 @@ def _cmd_run(args, out, err) -> int:
         args.max_retries is not None
         or args.unit_timeout is not None
         or args.on_error is not None
+        or args.store_retries is not None
     ):
+        policy_kwargs = {}
+        if args.store_retries is not None:
+            policy_kwargs["store_retries"] = args.store_retries
         policy = FailurePolicy(
             max_retries=args.max_retries if args.max_retries is not None else 0,
             unit_timeout=args.unit_timeout,
             on_error=args.on_error if args.on_error is not None else "raise",
+            **policy_kwargs,
         )
     if policy is not None and policy.on_error == "quarantine" and cache is None:
         raise ValueError("--on-error quarantine needs a result store; drop --no-cache")
@@ -497,7 +553,41 @@ def _cmd_run(args, out, err) -> int:
     return 0
 
 
+def _cmd_cache_serve(args, out) -> int:
+    if args.source is None:
+        raise ValueError(
+            "cache serve needs the store to front, e.g. "
+            "'cache serve sqlite:results.db'"
+        )
+    with resolve_store(args.source) as store:
+        server = StoreServer(
+            store, host=args.host, port=args.port, token=args.token
+        )
+        print(
+            f"serving {store.uri()} on http://{server.host}:{server.port}"
+            + (" (token required)" if args.token else ""),
+            file=out,
+            flush=True,
+        )
+        worker_uri = server.store_uri() + ("?token=..." if args.token else "")
+        print(
+            f"workers: python -m repro run <experiment> "
+            f"--store {worker_uri} --fleet",
+            file=out,
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nserver stopped", file=out)
+        finally:
+            server.shutdown()
+    return 0
+
+
 def _cmd_cache(args, out) -> int:
+    if args.action == "serve":
+        return _cmd_cache_serve(args, out)
     if args.action == "migrate":
         if args.source is None or args.dest is None:
             raise ValueError("cache migrate needs SOURCE and DEST store URIs")
@@ -579,6 +669,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         KernelUnavailableError,
         LeaseUnsupportedError,
         ResilienceError,
+        HttpStoreError,
     ) as exc:
         print(f"error: {exc}", file=err)
         return 2

@@ -13,6 +13,10 @@ Three backends ship behind the registry (:mod:`repro.store.registry`):
   lookups, batched upserts, and a provenance table recording the config
   snapshot, scheme token, code version and exact re-run command per unit.
 * ``memory`` (:mod:`repro.store.memory`) -- process-local, for tests.
+* ``http`` (:mod:`repro.store.http`) -- a remote store behind a
+  ``python -m repro cache serve`` server (:mod:`repro.store.server`),
+  with server-clock lease arbitration and an opt-in write-behind spool
+  for multi-host fleets.
 
 Lease-capable backends additionally implement the **work-unit lease
 protocol** (atomic TTL claims, heartbeats, expiry takeover) that
@@ -44,6 +48,7 @@ from repro.store.codec import (
     unit_key,
     unit_provenance,
 )
+from repro.store.http import DEFAULT_TIMEOUT, HttpStore, HttpStoreError
 from repro.store.json_dir import DEFAULT_CACHE_DIR, JsonDirStore
 from repro.store.memory import MemoryStore, shared_memory_store
 from repro.store.migrate import MigrationReport, StoreMigrationError, migrate_store
@@ -53,6 +58,7 @@ from repro.store.registry import (
     register_backend,
     resolve_store,
 )
+from repro.store.server import DEFAULT_HOST, DEFAULT_PORT, StoreServer
 from repro.store.sqlite import DEFAULT_BUSY_TIMEOUT, SqliteStore
 
 __all__ = [
@@ -61,6 +67,11 @@ __all__ = [
     "ChaosStore",
     "DEFAULT_BUSY_TIMEOUT",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_TIMEOUT",
+    "HttpStore",
+    "HttpStoreError",
     "Lease",
     "LeaseUnsupportedError",
     "MemoryStore",
@@ -72,6 +83,7 @@ __all__ = [
     "StoreInfo",
     "StoreMigrationError",
     "StoreRecord",
+    "StoreServer",
     "StoreSpec",
     "StoreStats",
     "available_backends",

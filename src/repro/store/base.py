@@ -26,6 +26,7 @@ protocol** used by fleet execution (:mod:`repro.runner.fleet`):
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -189,6 +190,25 @@ class ResultStore(abc.ABC):
         return dict(sorted(counts.items()))
 
     # -- lease protocol (fleet execution) --------------------------------
+
+    def _now(self) -> float:
+        """The authoritative clock for all lease-expiry arithmetic.
+
+        Every ``claim``/``heartbeat`` implementation derives expiry times
+        from this hook -- never from a caller-supplied timestamp -- so the
+        process that *owns* the store instance owns the clock.  For the
+        file-backed and sqlite backends that process is the worker itself,
+        which is why those paths carry a **same-host assumption**: all
+        workers sharing a ``sqlite:``/``json-dir:`` store must share one
+        wall clock (same machine, or NTP-synced hosts on a shared
+        filesystem).  The ``http:`` backend removes that assumption by
+        evaluating ``_now()`` inside the server process, making the server
+        the single arbiter -- a worker with a skewed clock can never
+        compute its way into a premature lease takeover.
+
+        Overridable in tests to simulate clock skew deterministically.
+        """
+        return time.time()
 
     def _lease_unsupported(self) -> LeaseUnsupportedError:
         return LeaseUnsupportedError(

@@ -48,7 +48,7 @@ from repro.store.base import Lease, ResultStore, StoreRecord
 CHAOS_OPS = ("get", "put", "delete", "claim", "heartbeat", "release", "put_many")
 
 #: Inner backends the registry wires a ``chaos+`` prefix for.
-CHAOS_BACKENDS = ("json-dir", "sqlite", "memory")
+CHAOS_BACKENDS = ("json-dir", "sqlite", "memory", "http")
 
 
 def _schedule_fraction(seed: int, op: str, index: int) -> float:

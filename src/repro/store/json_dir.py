@@ -209,7 +209,11 @@ class JsonDirStore(ResultStore):
         except OSError:
             return False
         with os.fdopen(handle, "w", encoding="utf-8") as stream:
-            json.dump({"worker": worker, "expires": time.time() + ttl}, stream)
+            # ``_now()``: lease expiry is computed by the process that
+            # owns the store instance -- workers sharing a json-dir
+            # lease directory must share one wall clock (same host, or
+            # NTP-synced hosts on a shared filesystem).
+            json.dump({"worker": worker, "expires": self._now() + ttl}, stream)
         return True
 
     def _read_lease(self, path: Path) -> Optional[Lease]:
@@ -231,7 +235,7 @@ class JsonDirStore(ResultStore):
         if self._write_lease_excl(path, worker, ttl):
             return True
         lease = self._read_lease(path)
-        if lease is not None and not lease.expired(time.time()):
+        if lease is not None and not lease.expired(self._now()):
             # Re-claiming a lease this worker already holds succeeds
             # (and refreshes it): claims are idempotent per worker, so
             # a claim whose acknowledgement was lost to a transient
@@ -262,7 +266,7 @@ class JsonDirStore(ResultStore):
             try:
                 with os.fdopen(handle, "w", encoding="utf-8") as stream:
                     json.dump(
-                        {"worker": worker, "expires": time.time() + ttl}, stream
+                        {"worker": worker, "expires": self._now() + ttl}, stream
                     )
                 os.replace(tmp_path, path)
                 extended += 1

@@ -113,7 +113,7 @@ class MemoryStore(ResultStore):
     # -- leases ----------------------------------------------------------
 
     def claim(self, key: str, worker: str, ttl: float) -> bool:
-        now = time.time()
+        now = self._now()
         with self._lock:
             if key in self._entries:
                 return False
@@ -132,7 +132,7 @@ class MemoryStore(ResultStore):
             return True
 
     def heartbeat(self, keys: Iterable[str], worker: str, ttl: float) -> int:
-        now = time.time()
+        now = self._now()
         extended = 0
         with self._lock:
             for key in keys:

@@ -7,6 +7,9 @@ A store is named by a URI of the form ``<backend>:<location>``:
 * ``sqlite:results.db`` -- the single-file WAL-mode database.
 * ``memory:`` -- a fresh in-memory store; ``memory:NAME`` a process-wide
   shared one (tests).
+* ``http:HOST:PORT`` -- a remote store behind a ``python -m repro cache
+  serve`` server (multi-host fleets); supports
+  ``?token=...&spool=PATH&timeout=S`` options.
 
 Anything that does not start with a registered backend name is treated as
 a plain directory path and opened with the json-dir backend -- exactly
@@ -64,9 +67,16 @@ def _make_memory(location: str) -> ResultStore:
     return shared_memory_store(location) if location else MemoryStore()
 
 
+def _make_http(location: str) -> ResultStore:
+    from repro.store.http import HttpStore
+
+    return HttpStore(location)
+
+
 register_backend("json-dir", _make_json_dir)
 register_backend("sqlite", _make_sqlite)
 register_backend("memory", _make_memory)
+register_backend("http", _make_http)
 
 # Fault-injecting chaos wrappers (``chaos+sqlite:...``) register through
 # the same mechanism; imported after the built-ins they wrap.

@@ -373,7 +373,13 @@ class SqliteStore(ResultStore):
     # -- leases ----------------------------------------------------------
 
     def claim(self, key: str, worker: str, ttl: float) -> bool:
-        now = time.time()
+        # Expiry arithmetic always uses this store instance's clock
+        # (``_now``), never a caller-supplied timestamp: all workers
+        # sharing a sqlite file are assumed to share one wall clock
+        # (same host or NTP-synced shared filesystem).  Behind ``cache
+        # serve`` the instance lives in the server process, so the
+        # server's clock arbitrates every lease.
+        now = self._now()
         with self._lock, self._guard():
             self._conn.execute("BEGIN IMMEDIATE")
             try:
@@ -404,7 +410,7 @@ class SqliteStore(ResultStore):
         return claimed
 
     def heartbeat(self, keys: Iterable[str], worker: str, ttl: float) -> int:
-        expires = time.time() + ttl
+        expires = self._now() + ttl
         extended = 0
         with self._lock, self._guard():
             self._conn.execute("BEGIN IMMEDIATE")

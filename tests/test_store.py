@@ -53,10 +53,21 @@ def _make_store(backend: str, tmp_path: Path):
 BACKENDS = ("json-dir", "sqlite", "memory")
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.fixture(params=BACKENDS)
+def store(request, tmp_path):
+    """One open store per built-in backend.
+
+    The contract classes below consume this fixture, so a new backend's
+    test module (e.g. ``test_store_http.py``) reuses the whole contract
+    suite by subclassing them with an overridden ``store`` fixture.
+    """
+    store = _make_store(request.param, tmp_path)
+    yield store
+    store.close()
+
+
 class TestStoreContract:
-    def test_put_get_roundtrip(self, backend, tmp_path, config):
-        store = _make_store(backend, tmp_path)
+    def test_put_get_roundtrip(self, store, config):
         unit = _units(config)[0]
         result = execute_unit(unit)
         assert store.get(unit) is None
@@ -66,8 +77,7 @@ class TestStoreContract:
         assert store.stats.hits == 1
         assert store.stats.writes == 1
 
-    def test_put_is_idempotent_upsert(self, backend, tmp_path, config):
-        store = _make_store(backend, tmp_path)
+    def test_put_is_idempotent_upsert(self, store, config):
         unit = _units(config)[0]
         result = execute_unit(unit)
         store.put(unit, result)
@@ -75,8 +85,7 @@ class TestStoreContract:
         assert len(store) == 1
         assert store.get(unit) == result
 
-    def test_put_many(self, backend, tmp_path, config):
-        store = _make_store(backend, tmp_path)
+    def test_put_many(self, store, config):
         units = _units(config, cells=3)
         items = [(unit, execute_unit(unit)) for unit in units]
         assert store.put_many(items) == 3
@@ -84,8 +93,7 @@ class TestStoreContract:
         for unit, result in items:
             assert store.get(unit) == result
 
-    def test_records_round_canonical_keys(self, backend, tmp_path, config):
-        store = _make_store(backend, tmp_path)
+    def test_records_round_canonical_keys(self, store, config):
         units = _units(config, cells=3)
         for unit in units:
             store.put(unit, execute_unit(unit))
@@ -94,8 +102,7 @@ class TestStoreContract:
         for record in records:
             assert decode_payload(record.payload) is not None
 
-    def test_scheme_counts_and_scoped_clear(self, backend, tmp_path, config):
-        store = _make_store(backend, tmp_path)
+    def test_scheme_counts_and_scoped_clear(self, store, config):
         for unit in _units(config, cells=2, seed_scheme="per-run"):
             store.put(unit, execute_unit(unit))
         for unit in _units(config, cells=3, seed_scheme="unit"):
@@ -106,58 +113,49 @@ class TestStoreContract:
         assert store.clear() == 3
         assert len(store) == 0
 
-    def test_info_counts_size(self, backend, tmp_path, config):
-        store = _make_store(backend, tmp_path)
+    def test_info_counts_size(self, store, config):
         for unit in _units(config, cells=2):
             store.put(unit, execute_unit(unit))
         info = store.info()
-        assert info.backend == backend
+        assert info.backend == store.backend
         assert info.entries == 2
         assert info.size_bytes > 0
         assert info.scheme_counts == {"per-run": 2}
 
-    def test_malformed_entry_is_a_miss(self, backend, tmp_path, config):
-        store = _make_store(backend, tmp_path)
+    def test_malformed_entry_is_a_miss(self, store, config):
         unit = _units(config)[0]
         store.put_record(unit_key(unit), {"schema": 999, "seed_scheme": "per-run"})
         assert store.get(unit) is None
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
 class TestLeaseContract:
-    def test_claim_is_exclusive(self, backend, tmp_path):
-        store = _make_store(backend, tmp_path)
+    def test_claim_is_exclusive(self, store):
         assert store.claim("k1", "alice", ttl=60.0)
         assert not store.claim("k1", "bob", ttl=60.0)
         assert [lease.worker for lease in store.leases()] == ["alice"]
 
-    def test_completed_unit_cannot_be_claimed(self, backend, tmp_path, config):
-        store = _make_store(backend, tmp_path)
+    def test_completed_unit_cannot_be_claimed(self, store, config):
         unit = _units(config)[0]
         store.put(unit, execute_unit(unit))
         assert not store.claim(unit_key(unit), "alice", ttl=60.0)
 
-    def test_release_reopens_the_unit(self, backend, tmp_path):
-        store = _make_store(backend, tmp_path)
+    def test_release_reopens_the_unit(self, store):
         assert store.claim("k1", "alice", ttl=60.0)
         store.release("k1", "alice")
         assert store.claim("k1", "bob", ttl=60.0)
 
-    def test_release_checks_ownership(self, backend, tmp_path):
-        store = _make_store(backend, tmp_path)
+    def test_release_checks_ownership(self, store):
         assert store.claim("k1", "alice", ttl=60.0)
         store.release("k1", "bob")  # not the holder: no-op
         assert not store.claim("k1", "bob", ttl=60.0)
 
-    def test_expired_lease_is_taken_over(self, backend, tmp_path):
-        store = _make_store(backend, tmp_path)
+    def test_expired_lease_is_taken_over(self, store):
         assert store.claim("k1", "alice", ttl=0.05)
         time.sleep(0.1)
         assert store.claim("k1", "bob", ttl=60.0)
         assert [lease.worker for lease in store.leases()] == ["bob"]
 
-    def test_heartbeat_extends_live_leases(self, backend, tmp_path):
-        store = _make_store(backend, tmp_path)
+    def test_heartbeat_extends_live_leases(self, store):
         assert store.claim("k1", "alice", ttl=0.3)
         deadline = time.time() + 0.6
         while time.time() < deadline:
@@ -166,8 +164,7 @@ class TestLeaseContract:
         # Still held well past the original TTL.
         assert not store.claim("k1", "bob", ttl=60.0)
 
-    def test_heartbeat_reports_lost_leases(self, backend, tmp_path):
-        store = _make_store(backend, tmp_path)
+    def test_heartbeat_reports_lost_leases(self, store):
         assert store.claim("k1", "alice", ttl=0.05)
         time.sleep(0.1)
         assert store.claim("k1", "bob", ttl=60.0)
