@@ -25,6 +25,7 @@ from repro.analysis.tables import format_grid_table
 from repro.core.experiments import SCALES, ExperimentScale, get_experiment
 from repro.core.metrics import GridResult
 from repro.core.sweep import simulate_grid
+from repro.kernels import normalize_thread_spec
 
 #: Where benchmark outputs (CSV grids, text tables) are written.
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -76,6 +77,19 @@ def bench_kernel() -> Optional[str]:
     return value or None
 
 
+def bench_kernel_threads() -> Optional[str]:
+    """Kernel thread spec for the harness (``REPRO_KERNEL_THREADS``).
+
+    A positive integer or ``auto`` selects the compiled kernels'
+    row-parallel team size (OpenMP over independent runs); unset defers
+    to the kernel layer's own resolution of the same variable.  Results
+    are bit-identical at any thread count -- like workers, this is a
+    pure wall-clock knob.
+    """
+    value = os.environ.get("REPRO_KERNEL_THREADS", "").strip().lower()
+    return normalize_thread_spec(value or None)
+
+
 def results_path(name: str) -> Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR / name
@@ -90,6 +104,7 @@ def run_figure_experiment(
     workers: Optional[int] = None,
     fastpath: Optional[bool] = None,
     kernel: Optional[str] = None,
+    kernel_threads: Optional[str] = None,
 ) -> Dict[str, GridResult]:
     """Run every configuration of a figure preset and persist the grids.
 
@@ -97,7 +112,9 @@ def run_figure_experiment(
     fans the grid cells out over the runner's process-pool executor;
     ``fastpath`` (default: ``REPRO_BENCH_FASTPATH``, on unless set to 0)
     selects the vectorised batch decoder; ``kernel`` (default: the
-    ``REPRO_KERNEL`` environment variable / auto) the kernel backend.
+    ``REPRO_KERNEL`` environment variable / auto) the kernel backend;
+    ``kernel_threads`` (default: ``REPRO_KERNEL_THREADS``) the compiled
+    kernels' row-parallel team size.
     """
     if workers is None:
         workers = bench_workers()
@@ -105,6 +122,8 @@ def run_figure_experiment(
         fastpath = bench_fastpath()
     if kernel is None:
         kernel = bench_kernel()
+    if kernel_threads is None:
+        kernel_threads = bench_kernel_threads()
     spec = get_experiment(experiment_id)
     grids: Dict[str, GridResult] = {}
     for config in spec.scaled_configs(scale):
@@ -117,6 +136,7 @@ def run_figure_experiment(
             workers=workers,
             fastpath=fastpath,
             kernel=kernel,
+            kernel_threads=kernel_threads,
         )
         grids[config.display_label] = grid
         slug = label_slug(config.display_label)

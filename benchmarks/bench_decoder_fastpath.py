@@ -17,12 +17,18 @@ Measures end-to-end simulation throughput (runs/second: schedule + channel
   construction stays inside the timed region (as in every prior entry).
 
 Every (kernel, family) sample is checked for bit-identity against the
-serial path before timing.  The measured throughputs are appended to
-``benchmarks/BENCH.json`` (schema 2: per-kernel columns plus the numba /
-C-compiler provenance) so the performance trajectory of the decode path
-is recorded PR over PR; the ``fastpath_runs_per_sec`` headline is the
-``auto``-selected backend, and ``speedup_vs_prev_fastpath`` compares it
-against the previous entry's headline on the same seeds and batch size.
+serial path before timing -- including the multi-threaded samples, whose
+row-parallel OpenMP decode must produce the exact same bytes as one
+thread.  The measured throughputs are appended to ``benchmarks/BENCH.json``
+(schema 5: single-thread per-kernel columns pinned to ``kernel_threads=1``
+for comparability with prior entries, ``threads_runs_per_sec*`` columns at
+the ``auto``-resolved team size, core-count / OpenMP provenance, and a
+fleet wall-clock row running one multi-core fleet member on the
+shared-memory thread executor) so the performance trajectory of the
+decode path is recorded PR over PR; the ``fastpath_runs_per_sec``
+headline is the ``auto``-selected backend, and
+``speedup_vs_prev_fastpath`` compares it against the previous entry's
+headline on the same seeds and batch size.
 
 Run directly::
 
@@ -32,6 +38,7 @@ Run directly::
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -47,7 +54,13 @@ from repro.channel.gilbert import GilbertChannel
 from repro.core.simulator import Simulator
 from repro.fastpath import simulate_batch, simulate_batch_columnar
 from repro.fec.registry import make_code
-from repro.kernels import available_backends, default_backend_name
+from repro.kernels import (
+    available_backends,
+    cext_openmp_enabled,
+    default_backend_name,
+    physical_cores,
+    resolve_thread_count,
+)
 from repro.scheduling.registry import make_tx_model
 from repro.seeds import get_scheme
 
@@ -74,12 +87,15 @@ BATCH_RUNS = 960
 #: regenerable CSV output and is gitignored; the trajectory is not).
 BENCH_JSON = Path(__file__).parent / "BENCH.json"
 
-#: Current ledger schema: 3 adds per-seed-scheme throughput columns
-#: (``unit_runs_per_sec*``: the counter-based unit scheme of
-#: :mod:`repro.seeds`, which draws a whole batch's randomness as blocks
-#: from one Philox generator) on top of schema 2's per-kernel columns and
-#: numba / C-compiler provenance.
-BENCH_SCHEMA = 3
+#: Current ledger schema: 5 adds multi-threaded kernel columns
+#: (``threads_runs_per_sec_by_kernel`` / ``unit_threads_runs_per_sec_by_
+#: kernel`` at the ``auto``-resolved OpenMP team size, with the historical
+#: per-kernel columns now pinned to ``kernel_threads=1`` so they stay
+#: comparable across entries), core-count + OpenMP provenance and a fleet
+#: wall-clock row, on top of schema 3's per-seed-scheme columns
+#: (``unit_runs_per_sec*``) and schema 2's per-kernel columns and numba /
+#: C-compiler provenance (schema 4 was the store benchmark's bump).
+BENCH_SCHEMA = 5
 
 
 def _bench_kernels() -> list[str]:
@@ -110,19 +126,25 @@ def _unit_streams(count: int):
     return get_scheme("unit").unit_streams(BENCH_SEED, (), 0, count)
 
 
-def _measure(family: str, ratio: float, kernels: list[str]) -> dict:
+def _measure(family: str, ratio: float, kernels: list[str], threads: int) -> dict:
     code = make_code(family, k=K, expansion_ratio=ratio, seed=1)
     tx_model = make_tx_model(TX_MODEL)
     channel = GilbertChannel(P, Q)
 
-    # Equivalence gate before timing anything, per kernel.
+    # Equivalence gate before timing anything, per kernel -- at one thread
+    # and at the measured team size (row-parallel decode must be exact).
     simulator = Simulator(code, tx_model, channel)
     reference = [simulator.run(rng) for rng in _rngs(20)]
     for kernel in kernels:
-        if simulate_batch(code, tx_model, channel, _rngs(20), kernel=kernel) != reference:
-            raise AssertionError(
-                f"fastpath[{kernel}] diverged from the serial path for {family}"
+        for team in {1, threads}:
+            batch = simulate_batch(
+                code, tx_model, channel, _rngs(20), kernel=kernel, kernel_threads=team
             )
+            if batch != reference:
+                raise AssertionError(
+                    f"fastpath[{kernel}, threads={team}] diverged from the "
+                    f"serial path for {family}"
+                )
 
     best_serial = 0.0
     for _ in range(2):
@@ -149,35 +171,48 @@ def _measure(family: str, ratio: float, kernels: list[str]) -> dict:
                 f"unit scheme[{kernel}] is not deterministic for {family}"
             )
 
-    by_kernel: dict[str, float] = {}
-    unit_by_kernel: dict[str, float] = {}
-    for kernel in kernels:
-        simulate_batch_columnar(code, tx_model, channel, _rngs(8), kernel=kernel)  # warm
+    def _time_batch(kernel: str, streams_factory, team: int) -> float:
         best = 0.0
         for _ in range(2):
             started = time.perf_counter()
             simulate_batch_columnar(
-                code, tx_model, channel, _rngs(BATCH_RUNS), kernel=kernel
+                code,
+                tx_model,
+                channel,
+                streams_factory(BATCH_RUNS),
+                kernel=kernel,
+                kernel_threads=team,
             )
             elapsed = time.perf_counter() - started
             best = max(best, BATCH_RUNS / elapsed)
-        by_kernel[kernel] = round(best, 1)
+        return round(best, 1)
 
-        best_unit = 0.0
-        for _ in range(2):
-            started = time.perf_counter()
-            simulate_batch_columnar(
-                code, tx_model, channel, _unit_streams(BATCH_RUNS), kernel=kernel
-            )
-            elapsed = time.perf_counter() - started
-            best_unit = max(best_unit, BATCH_RUNS / elapsed)
-        unit_by_kernel[kernel] = round(best_unit, 1)
+    # Historical columns stay pinned to one thread so the ledger's
+    # trajectory is apples-to-apples across entries; the threaded columns
+    # carry the ``auto``-resolved team size of this machine.
+    by_kernel: dict[str, float] = {}
+    unit_by_kernel: dict[str, float] = {}
+    threads_by_kernel: dict[str, float] = {}
+    unit_threads_by_kernel: dict[str, float] = {}
+    for kernel in kernels:
+        simulate_batch_columnar(code, tx_model, channel, _rngs(8), kernel=kernel)  # warm
+        by_kernel[kernel] = _time_batch(kernel, _rngs, 1)
+        unit_by_kernel[kernel] = _time_batch(kernel, _unit_streams, 1)
+        if threads > 1:
+            threads_by_kernel[kernel] = _time_batch(kernel, _rngs, threads)
+            unit_threads_by_kernel[kernel] = _time_batch(kernel, _unit_streams, threads)
+        else:
+            # One physical core: the team is one thread by construction,
+            # so re-timing would just duplicate the single-thread sample.
+            threads_by_kernel[kernel] = by_kernel[kernel]
+            unit_threads_by_kernel[kernel] = unit_by_kernel[kernel]
 
     headline_kernel = default_backend_name()
     if headline_kernel not in by_kernel:
         headline_kernel = "numpy"
     headline = by_kernel[headline_kernel]
     unit_headline = unit_by_kernel[headline_kernel]
+    threads_headline = threads_by_kernel[headline_kernel]
     return {
         "code": family,
         "expansion_ratio": ratio,
@@ -188,11 +223,15 @@ def _measure(family: str, ratio: float, kernels: list[str]) -> dict:
         "unit_runs_per_sec": unit_headline,
         "unit_runs_per_sec_by_kernel": unit_by_kernel,
         "unit_speedup_vs_per_run": round(unit_headline / headline, 2),
+        "threads_runs_per_sec": threads_headline,
+        "threads_runs_per_sec_by_kernel": threads_by_kernel,
+        "unit_threads_runs_per_sec_by_kernel": unit_threads_by_kernel,
+        "threads_speedup_vs_single": round(threads_headline / headline, 2),
         "speedup": round(headline / best_serial, 2),
     }
 
 
-def _provenance() -> dict:
+def _provenance(threads: int) -> dict:
     try:
         from repro.kernels.numba_backend import numba_version
 
@@ -205,7 +244,69 @@ def _provenance() -> dict:
         cext_compiler = compiler()
     except ImportError:  # pragma: no cover - cext module always importable
         cext_compiler = None
-    return {"numba": numba, "cext_compiler": cext_compiler}
+    return {
+        "numba": numba,
+        "cext_compiler": cext_compiler,
+        "cext_openmp": cext_openmp_enabled(),
+        "kernel_threads": threads,
+        "physical_cores": physical_cores(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _measure_fleet(threads: int) -> dict:
+    """One multi-core fleet member on the shared-memory thread executor.
+
+    Wall-clock for a complete small ldgm-staircase sweep executed the way
+    a fleet worker runs it: units claimed under TTL leases from a sqlite
+    store, fanned out over the thread executor, compiled kernels threading
+    the rows of each unit (``auto`` keeps executor workers x kernel
+    threads within the socket).
+    """
+    import tempfile
+
+    from repro.core.config import SimulationConfig
+    from repro.core.sweep import simulate_grid
+    from repro.store import resolve_store
+
+    config = SimulationConfig(
+        code="ldgm-staircase", tx_model=TX_MODEL, k=K, expansion_ratio=2.5
+    )
+    p_values = [0.01, 0.05, 0.1]
+    q_values = [0.5]
+    runs = 120
+    workers = min(2, max(1, os.cpu_count() or 1))
+    with tempfile.TemporaryDirectory() as tmp:
+        store = resolve_store(f"sqlite:{tmp}/fleet.db")
+        try:
+            started = time.perf_counter()
+            simulate_grid(
+                config,
+                p_values,
+                q_values,
+                runs=runs,
+                seed=BENCH_SEED,
+                executor="thread",
+                workers=workers,
+                kernel_threads="auto",
+                cache=store,
+                fleet=True,
+            )
+            elapsed = time.perf_counter() - started
+        finally:
+            store.close()
+    total_runs = runs * len(p_values) * len(q_values)
+    return {
+        "code": "ldgm-staircase",
+        "executor": "thread",
+        "fleet_members": 1,
+        "workers": workers,
+        "kernel_threads": threads,
+        "grid_points": len(p_values) * len(q_values),
+        "runs_per_point": runs,
+        "wall_clock_sec": round(elapsed, 3),
+        "runs_per_sec": round(total_runs / elapsed, 1),
+    }
 
 
 def _previous_fastpath(payload: dict) -> dict:
@@ -221,7 +322,11 @@ def _previous_fastpath(payload: dict) -> dict:
 
 def run_benchmark() -> dict:
     kernels = _bench_kernels()
-    rows = [_measure(family, ratio, kernels) for family, ratio in FAMILIES]
+    # The team size every threaded sample uses: ``auto`` with no executor
+    # divisor, i.e. the machine's physical cores (REPRO_KERNEL_THREADS
+    # overrides).
+    threads = resolve_thread_count()
+    rows = [_measure(family, ratio, kernels, threads) for family, ratio in FAMILIES]
     entry = {
         "benchmark": "decoder_fastpath",
         "date": date.today().isoformat(),
@@ -234,8 +339,9 @@ def run_benchmark() -> dict:
         "batch_runs": BATCH_RUNS,
         "seed": BENCH_SEED,
         "kernels": kernels,
-        **_provenance(),
+        **_provenance(threads),
         "results": rows,
+        "fleet": _measure_fleet(threads),
     }
     return entry
 
@@ -264,7 +370,9 @@ def main() -> int:
     entry = run_benchmark()
     print(
         f"decoder fastpath microbenchmark (k={K}, {TX_MODEL}, Gilbert p={P} q={Q}; "
-        f"kernels: {', '.join(entry['kernels'])})"
+        f"kernels: {', '.join(entry['kernels'])}; "
+        f"threads={entry['kernel_threads']} of {entry['physical_cores']} cores, "
+        f"OpenMP {'on' if entry['cext_openmp'] else 'off'})"
     )
     for row in entry["results"]:
         per_kernel = "   ".join(
@@ -283,6 +391,23 @@ def main() -> int:
             f"  {'':16s} unit scheme:              {per_kernel_unit}   "
             f"({row['unit_speedup_vs_per_run']:.2f}x vs per-run)"
         )
+        per_kernel_threads = "   ".join(
+            f"{name} {rate:8.1f}"
+            for name, rate in row["threads_runs_per_sec_by_kernel"].items()
+        )
+        print(
+            f"  {'':16s} {entry['kernel_threads']} thread(s):             "
+            f"{per_kernel_threads}   "
+            f"({row['threads_speedup_vs_single']:.2f}x vs 1 thread)"
+        )
+    fleet = entry["fleet"]
+    print(
+        f"  fleet: 1 member x {fleet['workers']} thread workers, "
+        f"kernel_threads={fleet['kernel_threads']}: "
+        f"{fleet['grid_points']} x {fleet['runs_per_point']} runs of "
+        f"{fleet['code']} in {fleet['wall_clock_sec']:.2f}s "
+        f"({fleet['runs_per_sec']:.1f} runs/s)"
+    )
     destination = append_to_bench_json(entry)
     print(f"recorded in {destination}")
     return 0

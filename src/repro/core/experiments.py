@@ -280,6 +280,7 @@ def run_experiment(
     cache: CacheSpec = None,
     fastpath: bool = True,
     kernel: Optional[str] = None,
+    kernel_threads=None,
     seed_scheme=None,
     fleet: bool = False,
     lease_ttl: Optional[float] = None,
@@ -337,6 +338,7 @@ def run_experiment(
             cache=cache,
             fastpath=fastpath,
             kernel=kernel,
+            kernel_threads=kernel_threads,
             seed_scheme=seed_scheme,
             fleet=fleet,
             lease_ttl=lease_ttl,

@@ -144,6 +144,7 @@ class Simulator:
         *,
         fastpath: bool = True,
         kernel: Optional[str] = None,
+        kernel_threads=None,
         seed_scheme=None,
     ) -> list[RunResult]:
         """Simulate ``runs`` independent transmissions.
@@ -153,9 +154,11 @@ class Simulator:
         incremental loop for any seed; ``fastpath=False`` keeps the
         per-packet reference path.  ``kernel`` selects the
         :mod:`repro.kernels` backend for the batch decode (name or backend
-        instance; default: ``REPRO_KERNEL`` / auto).  ``seed_scheme``
-        optionally derives the batch's streams through a named
-        :mod:`repro.seeds` scheme instead of consuming ``rng``
+        instance; default: ``REPRO_KERNEL`` / auto); ``kernel_threads``
+        the compiled kernels' row-parallel thread count (default:
+        ``REPRO_KERNEL_THREADS`` / auto -- bit-identical at any value).
+        ``seed_scheme`` optionally derives the batch's streams through a
+        named :mod:`repro.seeds` scheme instead of consuming ``rng``
         sequentially; ``fastpath=False`` then decodes the scheme-defined
         front end with the incremental reference decoder (bit-identical
         to the fast path within each scheme).
@@ -172,22 +175,25 @@ class Simulator:
                     streams,
                     nsent=nsent,
                     kernel=kernel,
+                    kernel_threads=kernel_threads,
                 )
             if streams.unit_rng is not None:
                 # Unit-batching scheme: same scheme-defined front end as
                 # the fast path, incremental reference decode.
                 from repro.fastpath import decode_batch_incremental
+                from repro.kernels import thread_count_context
                 from repro.pipeline.synthesis import synthesize_runs_unit
 
-                synthesis = synthesize_runs_unit(
-                    self.code.layout,
-                    self.tx_model,
-                    self.channel,
-                    streams.unit_rng,
-                    streams.runs,
-                    nsent=nsent,
-                    kernel=kernel,
-                )
+                with thread_count_context(kernel_threads):
+                    synthesis = synthesize_runs_unit(
+                        self.code.layout,
+                        self.tx_model,
+                        self.channel,
+                        streams.unit_rng,
+                        streams.runs,
+                        nsent=nsent,
+                        kernel=kernel,
+                    )
                 return decode_batch_incremental(self.code, synthesis).to_results()
             return [
                 self.run(run_rng, nsent=nsent) for run_rng in streams.run_rngs()
@@ -203,6 +209,7 @@ class Simulator:
                 [rng] * runs,
                 nsent=nsent,
                 kernel=kernel,
+                kernel_threads=kernel_threads,
             )
         return [self.run(rng, nsent=nsent) for _ in range(runs)]
 
@@ -213,6 +220,7 @@ class Simulator:
         nsent: Optional[int] = None,
         *,
         kernel: Optional[str] = None,
+        kernel_threads=None,
         seed_scheme=None,
     ) -> RunResultBatch:
         """Simulate ``runs`` independent transmissions, returning columns.
@@ -235,6 +243,7 @@ class Simulator:
             self._batch_streams(runs, rng, seed_scheme),
             nsent=nsent,
             kernel=kernel,
+            kernel_threads=kernel_threads,
         )
 
 

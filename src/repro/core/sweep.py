@@ -26,6 +26,7 @@ from repro.runner.engine import (
     run_grid,
     run_series,
 )
+from repro.kernels.threads import ThreadSpec
 from repro.resilience.policy import FailurePolicy
 from repro.seeds import SchemeSpec
 from repro.utils.rng import RandomState
@@ -45,6 +46,7 @@ def simulate_grid(
     cache: CacheSpec = None,
     fastpath: bool = True,
     kernel: Optional[str] = None,
+    kernel_threads: ThreadSpec = None,
     seed_scheme: SchemeSpec = None,
     fleet: bool = False,
     lease_ttl: Optional[float] = None,
@@ -126,6 +128,7 @@ def simulate_grid(
         cache=cache,
         fastpath=fastpath,
         kernel=kernel,
+        kernel_threads=kernel_threads,
         seed_scheme=seed_scheme,
         fleet=fleet,
         lease_ttl=lease_ttl,
@@ -150,6 +153,7 @@ def sweep_parameter(
     cache: CacheSpec = None,
     fastpath: bool = True,
     kernel: Optional[str] = None,
+    kernel_threads: ThreadSpec = None,
     seed_scheme: SchemeSpec = None,
     fleet: bool = False,
     lease_ttl: Optional[float] = None,
@@ -179,7 +183,7 @@ def sweep_parameter(
         Rebuild the FEC code from the run stream for every run.
     progress:
         Optional callback ``(done_points, total_points)``.
-    executor, workers, cache, fastpath, kernel, seed_scheme:
+    executor, workers, cache, fastpath, kernel, kernel_threads, seed_scheme:
         Execution/caching/seeding knobs, as in :func:`simulate_grid`.
     fleet, lease_ttl, worker_id:
         Cooperative fleet-execution knobs, as in :func:`simulate_grid`.
@@ -201,6 +205,7 @@ def sweep_parameter(
         cache=cache,
         fastpath=fastpath,
         kernel=kernel,
+        kernel_threads=kernel_threads,
         seed_scheme=seed_scheme,
         fleet=fleet,
         lease_ttl=lease_ttl,

@@ -29,7 +29,7 @@ from repro.fastpath.prototypes import (
     compile_prototype,
 )
 from repro.fec.base import FECCode
-from repro.kernels import KernelSpec, get_backend
+from repro.kernels import KernelSpec, ThreadSpec, get_backend, thread_count_context
 from repro.pipeline.synthesis import synthesize_runs, synthesize_runs_unit
 from repro.seeds import UnitStreams
 from repro.utils.rng import RandomState
@@ -62,6 +62,7 @@ def simulate_batch_columnar(
     *,
     nsent: Optional[int] = None,
     kernel: KernelSpec = None,
+    kernel_threads: ThreadSpec = None,
 ) -> RunResultBatch:
     """Simulate one transmission per generator in ``rngs``, fully columnar.
 
@@ -74,8 +75,26 @@ def simulate_batch_columnar(
     synthesised by the unconditional block-draw path of
     :func:`repro.pipeline.synthesize_runs_unit`.  ``kernel`` selects the
     :mod:`repro.kernels` backend for the decode hot loops and the Gilbert
-    sojourn fill (default: ``REPRO_KERNEL`` / auto).
+    sojourn fill (default: ``REPRO_KERNEL`` / auto); ``kernel_threads``
+    the compiled kernels' row-parallel team size (default:
+    ``REPRO_KERNEL_THREADS`` / auto) -- both pure wall-clock knobs,
+    bit-identical at any setting.
     """
+    with thread_count_context(kernel_threads):
+        return _simulate_batch_columnar(
+            code, tx_model, channel, rngs, nsent=nsent, kernel=kernel
+        )
+
+
+def _simulate_batch_columnar(
+    code: FECCode,
+    tx_model,
+    channel: LossModel,
+    rngs: Union[Sequence[RandomState], UnitStreams],
+    *,
+    nsent: Optional[int] = None,
+    kernel: KernelSpec = None,
+) -> RunResultBatch:
     backend = get_backend(kernel)
     if isinstance(rngs, UnitStreams):
         if rngs.unit_rng is not None:
@@ -163,6 +182,7 @@ def simulate_batch(
     *,
     nsent: Optional[int] = None,
     kernel: KernelSpec = None,
+    kernel_threads: ThreadSpec = None,
 ) -> List[RunResult]:
     """Per-run result list on top of :func:`simulate_batch_columnar`.
 
@@ -171,7 +191,13 @@ def simulate_batch(
     directly and never materialise per-run objects.
     """
     return simulate_batch_columnar(
-        code, tx_model, channel, rngs, nsent=nsent, kernel=kernel
+        code,
+        tx_model,
+        channel,
+        rngs,
+        nsent=nsent,
+        kernel=kernel,
+        kernel_threads=kernel_threads,
     ).to_results()
 
 

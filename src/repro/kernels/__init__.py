@@ -22,6 +22,13 @@ Selection: ``kernel=`` kwargs threaded through ``compile_prototype``,
 default).  Every backend is bit-identical to the incremental reference
 decoder -- the equivalence suite enforces it -- so the choice is purely a
 wall-clock knob.
+
+The compiled ``cext`` kernels additionally run row-parallel over a work
+unit's runs (OpenMP, with a probed serial fallback); the thread count is
+the ``kernel_threads`` knob of :mod:`repro.kernels.threads` -- threaded
+through the same call sites as ``kernel``, resolved from
+``REPRO_KERNEL_THREADS`` / ``auto`` = physical cores divided by the
+executor's worker count, and bit-identical at any value.
 """
 
 from repro.kernels.base import (
@@ -39,11 +46,23 @@ from repro.kernels.registry import (
     KernelUnavailableError,
     available_backends,
     cext_compiler_available,
+    cext_openmp_enabled,
     default_backend_name,
     get_backend,
     get_backend_for_run,
     numba_available,
     register_backend,
+)
+from repro.kernels.threads import (
+    THREADS_ENV_VAR,
+    ThreadSpec,
+    current_thread_count,
+    normalize_thread_spec,
+    physical_cores,
+    resolve_thread_count,
+    set_worker_divisor,
+    thread_count_context,
+    worker_divisor_context,
 )
 
 __all__ = [
@@ -61,7 +80,17 @@ __all__ = [
     "default_backend_name",
     "numba_available",
     "cext_compiler_available",
+    "cext_openmp_enabled",
     "AUTO_ORDER",
     "get_backend",
     "get_backend_for_run",
+    "THREADS_ENV_VAR",
+    "ThreadSpec",
+    "normalize_thread_spec",
+    "physical_cores",
+    "resolve_thread_count",
+    "current_thread_count",
+    "thread_count_context",
+    "set_worker_divisor",
+    "worker_divisor_context",
 ]

@@ -10,6 +10,19 @@ writable cache), importing this module raises ``ImportError`` and the
 registry treats the backend as unavailable, with ``auto`` falling back
 to the numpy reference.
 
+The per-run loops are row-parallel with OpenMP when the probe compile
+with ``-fopenmp`` succeeds; when it fails the build falls back to a
+pthread-free serial library with one logged warning (the ``#pragma omp``
+lines are inert without the flag, so both builds share one source).
+Runs are independent rows -- each writes only its own output slot and
+peels on per-thread scratch, and there are no cross-run reductions in
+these kernels (the lockstep probe reductions live in the numpy backend,
+which stays serial) -- so 1 thread and N threads are bit-identical and
+the thread count (``REPRO_KERNEL_THREADS`` / ``kernel_threads=`` /
+``--kernel-threads``) is a pure wall-clock knob.  ctypes drops the GIL
+for the duration of every foreign call, which is what lets thread-
+executor workers overlap these kernels on top of kernel threads.
+
 Like the numba backend, this is a pure wall-clock knob: the C loops
 mirror :mod:`repro.kernels.loops` statement for statement, and the
 cross-backend equivalence suite pins them to the incremental decoder.
@@ -19,7 +32,9 @@ from __future__ import annotations
 
 import ctypes
 import hashlib
+import logging
 import os
+import shlex
 import shutil
 import subprocess
 import tempfile
@@ -29,17 +44,42 @@ from typing import TYPE_CHECKING, Tuple
 import numpy as np
 
 from repro.kernels.base import NOT_DECODED, KernelBackend, ReceivedBatch
+from repro.kernels.threads import current_thread_count
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fastpath.prototypes import LDGMPrototype
+
+logger = logging.getLogger("repro.kernels")
 
 #: C translation of :func:`repro.kernels.loops.ldgm_peel_batch` and
 #: :func:`repro.kernels.loops.fill_sojourns`.  Keep the two in lockstep:
 #: the cross-backend tests enforce bit-identical behaviour, and the
 #: Python loops are the readable specification of these kernels.
+#:
+#: Without ``-fopenmp`` the pragmas are ignored and ``_OPENMP`` is
+#: undefined, so the same source builds the serial fallback library.
+#: ``REPRO_POISON_OPENMP`` (injected via ``CFLAGS``) force-fails the
+#: OpenMP probe compile only, which is how CI and the degradation test
+#: exercise the fallback on machines where OpenMP works.
 _C_SOURCE = r"""
 #include <stdint.h>
 #include <string.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#ifdef REPRO_POISON_OPENMP
+#error "OpenMP probe poisoned (REPRO_POISON_OPENMP in CFLAGS)"
+#endif
+#endif
+
+int peel_openmp(void)
+{
+#ifdef _OPENMP
+    return 1;
+#else
+    return 0;
+#endif
+}
 
 void ldgm_peel_batch(
     const int64_t *col_indptr, const int64_t *col_rows,
@@ -47,27 +87,43 @@ void ldgm_peel_batch(
     const int64_t *flat, const int64_t *offsets, const int64_t *lengths,
     int64_t num_runs, int64_t k, int64_t n, int64_t num_checks,
     int64_t *counts, int64_t *sums, uint8_t *known, int64_t *stack,
-    uint8_t *decoded, int64_t *n_necessary)
+    uint8_t *decoded, int64_t *n_necessary, int64_t num_threads)
 {
+    /* Runs are independent rows: every run writes only decoded[run] /
+       n_necessary[run] and works on its thread's private scratch slice,
+       so the parallel schedule cannot affect results.  num_threads is
+       the caller-resolved team size; scratch is (num_threads, ...). */
+    (void)num_threads;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) num_threads((int)num_threads)
+#endif
     for (int64_t run = 0; run < num_runs; run++) {
-        memcpy(counts, init_counts, (size_t)num_checks * sizeof(int64_t));
-        memcpy(sums, init_sums, (size_t)num_checks * sizeof(int64_t));
-        memset(known, 0, (size_t)n);
+        int64_t slot = 0;
+#ifdef _OPENMP
+        slot = (int64_t)omp_get_thread_num();
+#endif
+        int64_t *counts_t = counts + slot * num_checks;
+        int64_t *sums_t = sums + slot * num_checks;
+        uint8_t *known_t = known + slot * n;
+        int64_t *stack_t = stack + slot * (num_checks + 2);
+        memcpy(counts_t, init_counts, (size_t)num_checks * sizeof(int64_t));
+        memcpy(sums_t, init_sums, (size_t)num_checks * sizeof(int64_t));
+        memset(known_t, 0, (size_t)n);
         int64_t sources = 0;
         int64_t start = offsets[run];
         int64_t end = start + lengths[run];
         int complete = 0;
         for (int64_t pos = start; pos < end && !complete; pos++) {
             int64_t node = flat[pos];
-            if (known[node])
+            if (known_t[node])
                 continue; /* duplicate or already recovered: a no-op */
             int64_t top = 0;
-            stack[0] = node;
+            stack_t[0] = node;
             while (top >= 0) {
-                int64_t v = stack[top--];
-                if (known[v])
+                int64_t v = stack_t[top--];
+                if (known_t[v])
                     continue;
-                known[v] = 1;
+                known_t[v] = 1;
                 if (v < k && ++sources == k) {
                     /* all sources recovered: stop mid-cascade, like the
                        incremental decoder's early return */
@@ -77,13 +133,13 @@ void ldgm_peel_batch(
                 }
                 for (int64_t e = col_indptr[v]; e < col_indptr[v + 1]; e++) {
                     int64_t r = col_rows[e];
-                    counts[r] -= 1;
-                    sums[r] -= v;
-                    if (counts[r] == 1) {
+                    counts_t[r] -= 1;
+                    sums_t[r] -= v;
+                    if (counts_t[r] == 1) {
                         /* one unknown left: its id sum IS the node */
-                        int64_t u = sums[r];
-                        if (!known[u])
-                            stack[++top] = u;
+                        int64_t u = sums_t[r];
+                        if (!known_t[u])
+                            stack_t[++top] = u;
                     }
                 }
             }
@@ -114,8 +170,15 @@ int64_t fill_sojourns(
 void fill_sojourns_batch(
     uint8_t *masks, int64_t count, const uint8_t *states,
     const int64_t *gap_runs, const int64_t *burst_runs,
-    int64_t num_runs, int64_t batch, int64_t *filled_out)
+    int64_t num_runs, int64_t batch, int64_t *filled_out,
+    int64_t num_threads)
 {
+    /* Row-parallel like the peel: each run fills its own mask row and
+       filled_out slot from its own sojourn columns, no shared state. */
+    (void)num_threads;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads((int)num_threads)
+#endif
     for (int64_t run = 0; run < num_runs; run++) {
         filled_out[run] = fill_sojourns(
             masks + run * count, 0, count, states[run],
@@ -140,8 +203,35 @@ def compiler() -> str | None:
     return shutil.which(os.environ.get("CC", "").strip() or "cc")
 
 
+def _extra_cflags() -> list[str]:
+    """User/CI-supplied compile flags (``CFLAGS``), applied to both builds.
+
+    This is also the OpenMP-probe poison hook: ``-DREPRO_POISON_OPENMP``
+    makes the ``-fopenmp`` probe compile fail by construction while the
+    serial fallback (where ``_OPENMP`` is undefined) still builds.
+    """
+    return shlex.split(os.environ.get("CFLAGS", ""))
+
+
+def _compile(cc: str, source: Path, artefact: Path, *, openmp: bool):
+    command = [cc, "-O2", "-shared", "-fPIC"]
+    if openmp:
+        command.append("-fopenmp")
+    command += [*_extra_cflags(), "-o", str(artefact), str(source)]
+    return subprocess.run(command, capture_output=True, text=True)
+
+
 def _build_library() -> Path:
     """Compile the kernels into the cache (once per source revision).
+
+    The OpenMP build (``-fopenmp``) is probed first; when the probe
+    compile fails -- no libgomp, a compiler without OpenMP support, a
+    poisoned ``CFLAGS`` -- one warning is logged and the same source is
+    rebuilt serial (the pragmas are inert without the flag), so the
+    backend degrades to single-threaded kernels instead of disappearing.
+    The cache name encodes source + ``CFLAGS`` + variant, so a cached
+    serial fallback never masks an OpenMP build from a different
+    environment (and vice versa).
 
     Every environment failure -- no compiler, compile error, unwritable
     cache directory -- surfaces as ``ImportError`` so the registry treats
@@ -151,32 +241,63 @@ def _build_library() -> Path:
     cc = compiler()
     if cc is None:
         raise ImportError("no C compiler (cc) on PATH for the cext backend")
-    digest = hashlib.sha256(_C_SOURCE.encode("utf-8")).hexdigest()[:16]
-    target = _cache_dir() / f"peel-{digest}.so"
+    seed = "\x00".join([_C_SOURCE, *_extra_cflags()])
+    digest = hashlib.sha256(seed.encode("utf-8")).hexdigest()[:16]
+    cache = _cache_dir()
+    omp_target = cache / f"peel-{digest}-omp.so"
+    serial_target = cache / f"peel-{digest}-serial.so"
     try:
-        if target.exists():
-            return target
-        target.parent.mkdir(parents=True, exist_ok=True)
-        with tempfile.TemporaryDirectory(dir=target.parent) as build_dir:
+        if omp_target.exists():
+            return omp_target
+        if serial_target.exists():
+            # A previous probe in this environment already failed; stay
+            # serial without recompiling (the warning still fires at
+            # load time, once per process).
+            return serial_target
+        cache.mkdir(parents=True, exist_ok=True)
+        with tempfile.TemporaryDirectory(dir=cache) as build_dir:
             source = Path(build_dir) / "peel.c"
             source.write_text(_C_SOURCE, encoding="utf-8")
             artefact = Path(build_dir) / "peel.so"
-            result = subprocess.run(
-                [cc, "-O2", "-shared", "-fPIC", "-o", str(artefact), str(source)],
-                capture_output=True,
-                text=True,
+            probe = _compile(cc, source, artefact, openmp=True)
+            if probe.returncode == 0:
+                # Atomic publish so concurrent processes never load a
+                # half-written library; losing the race is fine, the
+                # content is identical.
+                os.replace(artefact, omp_target)
+                return omp_target
+            _warn_openmp_unavailable(
+                f"probe compile with -fopenmp failed: {probe.stderr.strip()}"
             )
+            result = _compile(cc, source, artefact, openmp=False)
             if result.returncode != 0:
                 raise ImportError(
                     f"C compile of the cext kernels failed: {result.stderr.strip()}"
                 )
-            # Atomic publish so concurrent processes never load a
-            # half-written library; losing the race is fine, the content
-            # is identical.
-            os.replace(artefact, target)
+            os.replace(artefact, serial_target)
+            return serial_target
     except OSError as exc:
         raise ImportError(f"cext kernel build failed: {exc}") from exc
-    return target
+
+
+_openmp_warned = False
+
+
+def _warn_openmp_unavailable(detail: str) -> None:
+    """One warning per process when the threaded build is unavailable.
+
+    Degradation must be loud but never fatal and never result-changing:
+    the serial kernels are bit-identical, only slower.
+    """
+    global _openmp_warned
+    if _openmp_warned:
+        return
+    _openmp_warned = True
+    logger.warning(
+        "cext OpenMP unavailable (%s); serving single-threaded cext kernels "
+        "(results unchanged, kernel_threads forced to 1)",
+        detail,
+    )
 
 
 def _load_library() -> ctypes.CDLL:
@@ -184,11 +305,13 @@ def _load_library() -> ctypes.CDLL:
         lib = ctypes.CDLL(str(_build_library()))
     except OSError as exc:
         raise ImportError(f"cext kernel library failed to load: {exc}") from exc
+    lib.peel_openmp.restype = ctypes.c_int
+    lib.peel_openmp.argtypes = []
     lib.ldgm_peel_batch.restype = None
     lib.ldgm_peel_batch.argtypes = [
         _I64, _I64, _I64, _I64, _I64, _I64, _I64,
         ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
-        _I64, _I64, _U8, _I64, _U8, _I64,
+        _I64, _I64, _U8, _I64, _U8, _I64, ctypes.c_int64,
     ]
     lib.fill_sojourns.restype = ctypes.c_int64
     lib.fill_sojourns.argtypes = [
@@ -198,8 +321,10 @@ def _load_library() -> ctypes.CDLL:
     lib.fill_sojourns_batch.restype = None
     lib.fill_sojourns_batch.argtypes = [
         _U8, ctypes.c_int64, _U8, _I64, _I64,
-        ctypes.c_int64, ctypes.c_int64, _I64,
+        ctypes.c_int64, ctypes.c_int64, _I64, ctypes.c_int64,
     ]
+    if not lib.peel_openmp():
+        _warn_openmp_unavailable("library built without OpenMP")
     return lib
 
 
@@ -208,12 +333,27 @@ def _i64(array: np.ndarray) -> np.ndarray:
 
 
 class CExtBackend(KernelBackend):
-    """Loop kernels compiled on demand with the system C compiler."""
+    """Loop kernels compiled on demand with the system C compiler.
+
+    The batch kernels run row-parallel over runs when the library was
+    built with OpenMP; the team size comes from the active
+    ``kernel_threads`` resolution (:func:`~repro.kernels.threads.current_thread_count`)
+    at call time, clamped to the batch size.  A serial-fallback library
+    pins it to 1.  Either way the results are bit-identical -- threads
+    are a wall-clock knob, like the backend choice itself.
+    """
 
     name = "cext"
 
     def __init__(self) -> None:
         self._lib = _load_library()
+        #: Whether the loaded library was built with OpenMP (provenance).
+        self.openmp = bool(self._lib.peel_openmp())
+
+    def _team_size(self, num_runs: int) -> int:
+        if not self.openmp:
+            return 1
+        return max(1, min(current_thread_count(), num_runs))
 
     def ldgm_decode_batch(
         self, prototype: "LDGMPrototype", batch: ReceivedBatch
@@ -223,10 +363,14 @@ class CExtBackend(KernelBackend):
         n_necessary = np.full(num_runs, NOT_DECODED, dtype=np.int64)
         if batch.flat.size:
             num_checks = prototype.num_checks
-            counts = np.empty(num_checks, dtype=np.int64)
-            sums = np.empty(num_checks, dtype=np.int64)
-            known = np.empty(prototype.n, dtype=np.uint8)
-            stack = np.empty(num_checks + 2, dtype=np.int64)
+            threads = self._team_size(num_runs)
+            # One scratch slice per thread: rows of these (threads, ...)
+            # arrays are private to their OpenMP thread, which is what
+            # keeps N-thread peeling bit-identical to 1-thread.
+            counts = np.empty((threads, num_checks), dtype=np.int64)
+            sums = np.empty((threads, num_checks), dtype=np.int64)
+            known = np.empty((threads, prototype.n), dtype=np.uint8)
+            stack = np.empty((threads, num_checks + 2), dtype=np.int64)
             flat = _i64(batch.flat)
             offsets = _i64(batch.offsets)
             lengths = _i64(batch.lengths)
@@ -248,6 +392,7 @@ class CExtBackend(KernelBackend):
                 stack.ctypes.data_as(_I64),
                 decoded.ctypes.data_as(_U8),
                 n_necessary.ctypes.data_as(_I64),
+                threads,
             )
         return decoded.astype(bool), n_necessary
 
@@ -296,6 +441,7 @@ class CExtBackend(KernelBackend):
                 int(num_runs),
                 int(gap_runs.shape[1]),
                 filled.ctypes.data_as(_I64),
+                self._team_size(num_runs),
             )
         return filled
 

@@ -70,6 +70,23 @@ def cext_compiler_available() -> bool:
     return compiler() is not None
 
 
+def cext_openmp_enabled() -> Optional[bool]:
+    """Whether the cext library was built with OpenMP (``None``: no cext).
+
+    Provenance helper for BENCH entries and the CLI header: ``True`` means
+    threaded peel/sojourn kernels, ``False`` the serial-fallback build
+    (probe compile failed), ``None`` that the backend cannot be
+    constructed here at all.
+    """
+    if not cext_compiler_available():
+        return None
+    try:
+        backend = _construct("cext")
+    except KernelUnavailableError:
+        return None
+    return bool(getattr(backend, "openmp", False))
+
+
 #: ``auto`` preference order: compiled backends first, numpy always last
 #: (it can never fail to construct).
 AUTO_ORDER: Tuple[str, ...] = ("numba", "cext", "numpy")
@@ -218,6 +235,7 @@ __all__ = [
     "default_backend_name",
     "numba_available",
     "cext_compiler_available",
+    "cext_openmp_enabled",
     "get_backend",
     "get_backend_for_run",
 ]

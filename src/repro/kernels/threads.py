@@ -1,0 +1,210 @@
+"""Kernel thread-count resolution: the ``kernel_threads`` knob.
+
+The compiled kernels (:mod:`repro.kernels.cext`) can run their per-run
+loops row-parallel with OpenMP.  Runs within a work unit are independent
+rows -- each run writes its own ``decoded[run]`` / ``n_necessary[run]``
+slot and peels on private scratch -- so parallel-over-runs is *exact*:
+1 thread and N threads produce bit-identical arrays, and the thread count
+is a pure wall-clock knob (excluded from cache keys, like ``kernel``).
+
+Resolution order, mirroring the kernel-backend selection:
+
+1. an explicit ``kernel_threads=`` argument (``--kernel-threads`` on the
+   CLI, the ``kernel_threads`` field of a :class:`~repro.runner.units.WorkUnit`),
+2. the ``REPRO_KERNEL_THREADS`` environment variable,
+3. ``auto`` (the default): the machine's physical core count divided by
+   the number of executor workers sharing this process' socket.
+
+The division in step 3 is the **oversubscription rule**: executor workers
+x kernel threads never exceeds the physical cores.  Executors declare
+their local parallelism through :func:`worker_divisor` before dispatching
+units (the thread executor in-process, the process pool via its worker
+initializer), so ``--workers 4 --kernel-threads auto`` on a 16-core box
+gives each worker 4 kernel threads instead of 4x16 runnable threads.
+
+The *requested* spec travels as data (a normalised string on the work
+unit); the *resolved* integer is looked up at the kernel call site via
+:func:`current_thread_count`, scoped by :func:`thread_count_context` in
+the executing process.  The context is thread-local, so thread-executor
+workers cannot race each other's resolution.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+#: Environment variable consulted when no explicit thread count is given.
+THREADS_ENV_VAR = "REPRO_KERNEL_THREADS"
+
+#: ``kernel_threads=`` arguments accepted everywhere: a positive integer,
+#: a numeric string, ``"auto"``, or None (environment / auto resolution).
+ThreadSpec = Union[int, str, None]
+
+_local = threading.local()
+
+#: Executor workers sharing this process' cores; ``auto`` divides by it.
+_worker_divisor = 1
+
+_physical_cores: Optional[int] = None
+
+
+def normalize_thread_spec(spec: ThreadSpec) -> Optional[str]:
+    """Validate a thread spec and normalise it to ``None``/``"auto"``/digits.
+
+    The normalised form is what :class:`~repro.runner.units.WorkUnit`
+    stores (a plain string keeps units picklable and JSON-clean), and a
+    bad ``--kernel-threads`` fails here, at planning time, not inside a
+    worker.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        value = spec.strip().lower()
+        if not value:
+            return None
+        if value == "auto":
+            return "auto"
+        try:
+            spec = int(value)
+        except ValueError:
+            raise ValueError(
+                f"kernel_threads must be a positive integer or 'auto', got {spec!r}"
+            ) from None
+    if isinstance(spec, bool) or not isinstance(spec, int) or spec < 1:
+        raise ValueError(
+            f"kernel_threads must be a positive integer or 'auto', got {spec!r}"
+        )
+    return str(spec)
+
+
+def physical_cores() -> int:
+    """Physical core count (``auto``'s numerator), hyperthreads excluded.
+
+    Parsed from ``/proc/cpuinfo`` where available -- oversubscribing
+    hyperthreads buys nothing for these memory-bound loops -- with
+    ``os.cpu_count()`` as the portable fallback.
+    """
+    global _physical_cores
+    if _physical_cores is None:
+        _physical_cores = _count_physical_cores()
+    return _physical_cores
+
+
+def _count_physical_cores() -> int:
+    fallback = os.cpu_count() or 1
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError:
+        return fallback
+    cores = set()
+    physical_id = core_id = None
+    for line in text.splitlines():
+        key, _, value = line.partition(":")
+        key = key.strip()
+        if key == "physical id":
+            physical_id = value.strip()
+        elif key == "core id":
+            core_id = value.strip()
+        elif not line.strip():
+            if core_id is not None:
+                cores.add((physical_id, core_id))
+            physical_id = core_id = None
+    if core_id is not None:
+        cores.add((physical_id, core_id))
+    count = len(cores)
+    return count if count > 0 else fallback
+
+
+def set_worker_divisor(workers: int) -> int:
+    """Declare how many executor workers share this process' cores.
+
+    Returns the previous divisor so callers can restore it; ``auto``
+    thread counts become ``max(1, physical_cores() // workers)``.
+    """
+    global _worker_divisor
+    previous = _worker_divisor
+    _worker_divisor = max(1, int(workers))
+    return previous
+
+
+def worker_divisor() -> int:
+    """The currently declared executor-worker divisor."""
+    return _worker_divisor
+
+
+@contextmanager
+def worker_divisor_context(workers: int) -> Iterator[None]:
+    """Scope :func:`set_worker_divisor` to a dispatch loop."""
+    previous = set_worker_divisor(workers)
+    try:
+        yield
+    finally:
+        set_worker_divisor(previous)
+
+
+def _spec_stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+@contextmanager
+def thread_count_context(spec: ThreadSpec) -> Iterator[None]:
+    """Make ``spec`` the active thread request for this thread's kernels.
+
+    ``None`` is a no-op (an enclosing context, the environment, or
+    ``auto`` resolves instead), so nesting ``kernel_threads=None`` calls
+    inside an explicit selection inherits the outer choice.
+    """
+    normalized = normalize_thread_spec(spec)
+    if normalized is None:
+        yield
+        return
+    stack = _spec_stack()
+    stack.append(normalized)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def resolve_thread_count(spec: ThreadSpec = None) -> int:
+    """Resolve a thread spec to a concrete positive thread count."""
+    normalized = normalize_thread_spec(spec)
+    if normalized is None:
+        normalized = normalize_thread_spec(os.environ.get(THREADS_ENV_VAR))
+    if normalized is None or normalized == "auto":
+        return max(1, physical_cores() // _worker_divisor)
+    return int(normalized)
+
+
+def current_thread_count() -> int:
+    """The thread count a kernel call should use *right now*.
+
+    The innermost :func:`thread_count_context` wins; outside any context
+    the environment / ``auto`` chain resolves (so direct backend calls in
+    tests and notebooks honour ``REPRO_KERNEL_THREADS`` too).
+    """
+    stack = getattr(_local, "stack", None)
+    if stack:
+        return resolve_thread_count(stack[-1])
+    return resolve_thread_count(None)
+
+
+__all__ = [
+    "THREADS_ENV_VAR",
+    "ThreadSpec",
+    "normalize_thread_spec",
+    "physical_cores",
+    "set_worker_divisor",
+    "worker_divisor",
+    "worker_divisor_context",
+    "thread_count_context",
+    "resolve_thread_count",
+    "current_thread_count",
+]

@@ -6,7 +6,9 @@ Subcommands
     Table of every figure/table preset and the available scales.
 ``run``
     Execute one experiment preset at a chosen scale, with ``--workers``
-    for process-pool parallelism, a pluggable result store for resumable
+    for pool parallelism (``--executor thread`` for the shared-memory
+    pool, ``--kernel-threads`` for OpenMP row-parallel compiled
+    kernels), a pluggable result store for resumable
     runs (``--store sqlite:results.db`` / ``--cache-dir`` for the default
     json-dir layout, ``--no-cache`` to disable), cooperative **fleet
     execution** (``--fleet``: several processes pointed at one shared
@@ -60,7 +62,7 @@ from repro.core.experiments import (
     get_experiment,
     run_experiment,
 )
-from repro.kernels import KernelUnavailableError, get_backend
+from repro.kernels import KernelUnavailableError, get_backend, normalize_thread_spec
 from repro.resilience import (
     ON_ERROR_ACTIONS,
     FailurePolicy,
@@ -122,9 +124,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--executor",
-        choices=("serial", "process"),
+        choices=("serial", "process", "thread"),
         default=None,
-        help="force an executor (default: process when --workers > 1)",
+        help=(
+            "force an executor: 'serial', 'process' (pickling pool, the "
+            "default when --workers > 1), or 'thread' (shared-memory pool "
+            "-- compiled kernels release the GIL, so thread workers share "
+            "the prototype cache instead of re-pickling it)"
+        ),
     )
     cache_group = run.add_mutually_exclusive_group()
     cache_group.add_argument(
@@ -204,6 +211,19 @@ def _build_parser() -> argparse.ArgumentParser:
             "if a compiler is present, else numpy).  Results are "
             "bit-identical across backends.  Also settable via the "
             "REPRO_KERNEL environment variable"
+        ),
+    )
+    run.add_argument(
+        "--kernel-threads",
+        default=None,
+        metavar="THREADS",
+        help=(
+            "row-parallel thread count for compiled kernels (cext with "
+            "OpenMP): a positive integer or 'auto' (physical cores divided "
+            "by the executor's worker count, so executor workers x kernel "
+            "threads never oversubscribes the socket).  Bit-identical at "
+            "any value.  Also settable via the REPRO_KERNEL_THREADS "
+            "environment variable"
         ),
     )
     run.add_argument(
@@ -435,6 +455,9 @@ def _cmd_run(args, out, err) -> int:
     )
     if not args.fastpath:
         kernel_name = None
+    # Same fail-fast treatment for the thread spec: a typo'd
+    # --kernel-threads dies here, not inside a pool worker.
+    kernel_threads = normalize_thread_spec(args.kernel_threads)
     # Resolve the scheme up front too: an unknown --seed-scheme (or a
     # stale REPRO_SEED_SCHEME) fails fast with the registered names.
     scheme_name = resolve_scheme_name(args.seed_scheme)
@@ -464,6 +487,7 @@ def _cmd_run(args, out, err) -> int:
         f"store={'off' if cache is None else cache.uri()} "
         f"fastpath={'on' if args.fastpath else 'off'}"
         + (f" kernel={kernel_name}" if kernel_name else "")
+        + (f" kernel-threads={kernel_threads}" if kernel_threads else "")
         + (f" fleet=on ttl={args.lease_ttl:g}s" if args.fleet else "")
         + (
             f" retries={policy.max_retries} on-error={policy.on_error}"
@@ -503,6 +527,7 @@ def _cmd_run(args, out, err) -> int:
             cache=cache,
             fastpath=args.fastpath,
             kernel=kernel_name,
+            kernel_threads=kernel_threads,
             seed_scheme=scheme_name,
             fleet=args.fleet,
             lease_ttl=args.lease_ttl,

@@ -32,6 +32,7 @@ from repro.resilience.report import write_quarantine
 from repro.resilience.retry import RetryingStore
 from repro.runner.executors import Executor, resolve_executor
 from repro.runner.fleet import DEFAULT_LEASE_TTL, FleetRunner
+from repro.kernels.threads import ThreadSpec
 from repro.runner.units import (
     SeedPath,
     UnitResult,
@@ -184,6 +185,7 @@ def run_grid(
     runs_per_unit: Optional[int] = None,
     fastpath: bool = True,
     kernel: Optional[str] = None,
+    kernel_threads: ThreadSpec = None,
     seed_scheme: SchemeSpec = None,
     fleet: bool = False,
     lease_ttl: Optional[float] = None,
@@ -229,6 +231,7 @@ def run_grid(
         runs_per_unit=runs_per_unit,
         fastpath=fastpath,
         kernel=kernel,
+        kernel_threads=kernel_threads,
         seed_scheme=scheme_name,
     )
     results, unit_failures = _execute(
@@ -297,6 +300,7 @@ def run_series(
     runs_per_unit: Optional[int] = None,
     fastpath: bool = True,
     kernel: Optional[str] = None,
+    kernel_threads: ThreadSpec = None,
     seed_scheme: SchemeSpec = None,
     fleet: bool = False,
     lease_ttl: Optional[float] = None,
@@ -334,6 +338,7 @@ def run_series(
         runs_per_unit=runs_per_unit,
         fastpath=fastpath,
         kernel=kernel,
+        kernel_threads=kernel_threads,
         seed_scheme=scheme_name,
     )
     results, unit_failures = _execute(

@@ -1,6 +1,6 @@
 """Executors: strategies for running a batch of work units.
 
-Two strategies are provided behind one tiny interface
+Three strategies are provided behind one tiny interface
 (``run(units, on_result)``):
 
 * :class:`SerialExecutor` runs units in order in the calling process --
@@ -10,12 +10,22 @@ Two strategies are provided behind one tiny interface
   ``concurrent.futures.ProcessPoolExecutor`` in chunks.  Because every
   unit derives its own seeds, completion order does not matter: the engine
   reassembles cells by their ``seed_path``, so parallel results are
-  bit-identical to serial ones.
+  bit-identical to serial ones.  Each worker process pre-warms the
+  shared-code + compiled-prototype caches in its pool initializer, so the
+  per-process compile cost is paid at pool start-up, in parallel.
+* :class:`ThreadExecutor` fans units out over an in-process thread pool:
+  no pickling, and every worker shares the per-backend compiled-prototype
+  cache, the shared-code cache and NumPy buffers.  The compiled kernels
+  drop the GIL for the duration of their C calls, so thread workers
+  compose with the kernels' own OpenMP row-parallelism; both executors
+  declare their worker count to :mod:`repro.kernels.threads` so ``auto``
+  kernel-thread counts obey the oversubscription rule (executor workers x
+  kernel threads <= physical cores).
 
-``on_result`` is always invoked in the calling process (for the process
-pool: as futures complete), which is what bridges worker progress back to
-the user's progress callback and lets the engine write the result store
-from a single process.
+``on_result`` is always invoked in the calling process and thread (for
+the pools: as futures complete), which is what bridges worker progress
+back to the user's progress callback and lets the engine write the
+result store from a single thread.
 
 Both executors optionally carry a
 :class:`~repro.resilience.policy.FailurePolicy`.  Without one (the
@@ -39,11 +49,18 @@ runner can size its claim batches.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from functools import partial
 from typing import Callable, Optional, Protocol, Sequence, Union
 
+from repro.kernels.threads import set_worker_divisor, worker_divisor_context
 from repro.resilience.errors import PoisonUnitError
 from repro.resilience.policy import (
     FailurePolicy,
@@ -53,7 +70,14 @@ from repro.resilience.policy import (
     run_unit_with_policy,
     run_units_with_policy,
 )
-from repro.runner.units import UnitResult, WorkUnit, execute_unit, execute_units
+from repro.runner.units import (
+    UnitResult,
+    WorkUnit,
+    execute_unit,
+    execute_units,
+    warm_unit,
+    warm_units,
+)
 from repro.utils.validation import validate_positive_int
 
 OnResult = Callable[[UnitResult], None]
@@ -124,6 +148,42 @@ class SerialExecutor:
             deliver_outcome(outcome, self.policy, on_result, on_failure)
 
 
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """A fork-safe multiprocessing context for the process pool.
+
+    Plain ``fork`` is off the table once compiled kernels may have run
+    OpenMP regions in the parent: libgomp's thread-team state does not
+    survive ``fork()``, and a forked worker entering its first parallel
+    region deadlocks.  ``forkserver`` sidesteps this -- the server
+    process is started by exec before any kernel runs, so its children
+    are always OpenMP-clean -- with ``spawn`` as the portable fallback
+    where ``forkserver`` is unavailable.
+    """
+    try:
+        return multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _init_pool_worker(warm: Sequence[WorkUnit], divisor: int) -> None:
+    """Process-pool worker initializer: thread divisor + cache pre-warm.
+
+    Runs once per worker process, at pool start-up: declares the pool
+    size to the kernel-thread resolver (so ``auto`` kernel threads obey
+    the oversubscription rule) and pre-compiles the shared codes and
+    decoder prototypes the planned units will need -- in parallel across
+    workers, instead of serialised inside each worker's first chunk.
+    Warming is strictly an optimisation, so any failure is swallowed:
+    execution will rebuild (or degrade) exactly as it would have.
+    """
+    set_worker_divisor(divisor)
+    for unit in warm:
+        try:
+            warm_unit(unit)
+        except Exception:  # pragma: no cover - warming must never kill a pool
+            pass
+
+
 class ProcessExecutor:
     """Execute units on a process pool with chunked dispatch.
 
@@ -186,7 +246,13 @@ class ProcessExecutor:
         else:
             task = partial(run_units_with_policy, policy=self.policy)
         chunks = self._chunks(units)
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(chunks))) as pool:
+        pool_size = min(self.workers, len(chunks))
+        with ProcessPoolExecutor(
+            max_workers=pool_size,
+            mp_context=_pool_context(),
+            initializer=_init_pool_worker,
+            initargs=(warm_units(units), pool_size),
+        ) as pool:
             pending = set()
             queued = iter(chunks)
             exhausted = False
@@ -211,6 +277,99 @@ class ProcessExecutor:
                             )
 
 
+class ThreadExecutor:
+    """Execute units on an in-process thread pool: shared memory, no pickling.
+
+    Worker threads share the per-backend compiled-prototype cache, the
+    shared-code cache and every NumPy buffer directly, so the pickling
+    and per-process compile costs of :class:`ProcessExecutor` vanish.
+    Pure-Python stages still serialise on the GIL, but the compiled
+    kernels (and NumPy's own released-GIL regions) run concurrently --
+    ctypes drops the GIL for the duration of each C call -- which makes
+    thread workers compose with the kernels' OpenMP row-parallelism.
+
+    While dispatching, the executor declares its worker count to
+    :mod:`repro.kernels.threads`, so ``kernel_threads="auto"`` resolves
+    to ``physical_cores // workers`` per unit: the oversubscription rule
+    (executor threads x kernel threads <= cores) holds by construction.
+
+    Completion order does not matter -- every unit derives its own seeds
+    and the engine reassembles cells by ``seed_path`` -- so results are
+    bit-identical to the serial and process executors.  ``on_result`` /
+    ``on_failure`` are invoked in the calling thread.
+
+    Parameters
+    ----------
+    workers:
+        Thread count; defaults to ``os.cpu_count()``.
+    max_pending:
+        Cap on in-flight units (default ``4 * workers``), bounding the
+        retained futures for paper-scale unit lists.
+    policy:
+        Optional :class:`FailurePolicy`; the retry loop runs inside the
+        worker thread, dispatch happens in the calling thread.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        max_pending: Optional[int] = None,
+        policy: Optional[FailurePolicy] = None,
+    ):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        self.workers = validate_positive_int(workers, "workers")
+        self.max_pending = (
+            validate_positive_int(max_pending, "max_pending")
+            if max_pending is not None
+            else 4 * self.workers
+        )
+        self.policy = resolve_policy(policy)
+
+    def _execute_one(self, unit: WorkUnit) -> UnitResult:
+        """Execution hook (fault-injecting test executors override it)."""
+        return execute_unit(unit)
+
+    def _task(self, unit: WorkUnit):
+        if self.policy is None:
+            return self._execute_one(unit)
+        return run_unit_with_policy(unit, self.policy, execute=self._execute_one)
+
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        on_result: OnResult,
+        on_failure: Optional[OnFailure] = None,
+    ) -> None:
+        if not units:
+            return
+        with worker_divisor_context(self.workers), ThreadPoolExecutor(
+            max_workers=min(self.workers, len(units)),
+            thread_name_prefix="repro-unit",
+        ) as pool:
+            pending = set()
+            queued = iter(units)
+            exhausted = False
+            while pending or not exhausted:
+                while not exhausted and len(pending) < self.max_pending:
+                    unit = next(queued, None)
+                    if unit is None:
+                        exhausted = True
+                        break
+                    pending.add(pool.submit(self._task, unit))
+                if not pending:
+                    break
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    if self.policy is None:
+                        on_result(future.result())
+                    else:
+                        deliver_outcome(
+                            future.result(), self.policy, on_result, on_failure
+                        )
+
+
 def resolve_executor(
     executor: Union[str, Executor, None],
     workers: Optional[int] = None,
@@ -219,9 +378,11 @@ def resolve_executor(
     """Build an executor from the user-facing ``executor``/``workers`` knobs.
 
     ``executor`` may be an executor instance (returned as-is -- the caller
-    owns its policy), ``"serial"``, ``"process"``, or ``None`` -- which
-    picks the process pool when more than one worker was requested and the
-    serial path otherwise.
+    owns its policy), ``"serial"``, ``"process"``, ``"thread"``, or
+    ``None`` -- which picks the process pool when more than one worker was
+    requested and the serial path otherwise (the thread pool is opt-in:
+    it wins when the workload is dominated by released-GIL kernel time,
+    the process pool when pure-Python stages dominate).
     """
     if executor is None:
         executor = "process" if workers is not None and workers > 1 else "serial"
@@ -232,8 +393,10 @@ def resolve_executor(
         return SerialExecutor(policy=policy)
     if name == "process":
         return ProcessExecutor(workers, policy=policy)
+    if name == "thread":
+        return ThreadExecutor(workers, policy=policy)
     raise ValueError(
-        f"unknown executor {executor!r}; available: 'serial', 'process'"
+        f"unknown executor {executor!r}; available: 'serial', 'process', 'thread'"
     )
 
 
@@ -241,6 +404,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ProcessExecutor",
+    "ThreadExecutor",
     "resolve_executor",
     "deliver_outcome",
     "OnResult",

@@ -188,8 +188,12 @@ class FleetRunner:
         The shared, lease-capable result store.
     executor:
         Local executor for claimed units (default: serial).  With a
-        process pool, claimed batches fan out over local workers while
-        the lease heartbeat runs in the coordinating process.
+        process or thread pool, claimed batches fan out over local
+        workers while the lease heartbeat runs in the coordinating
+        process.  Units carry their ``kernel_threads`` spec, so a fleet
+        member executes claimed units with OpenMP row-parallel compiled
+        kernels exactly like a standalone runner would (``auto`` divides
+        physical cores by the local executor's worker count).
     worker_id:
         Fleet-unique identity (default ``<hostname>:<pid>``).
     lease_ttl:

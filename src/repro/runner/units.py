@@ -22,6 +22,7 @@ the process-pool executor and are hashed into cache keys by
 from __future__ import annotations
 
 import dataclasses
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -31,6 +32,11 @@ from repro.channel.gilbert import GilbertChannel
 from repro.core.config import SimulationConfig
 from repro.core.metrics import RunResult, RunResultBatch
 from repro.core.simulator import Simulator
+from repro.kernels.threads import (
+    ThreadSpec,
+    normalize_thread_spec,
+    thread_count_context,
+)
 from repro.seeds import SchemeSpec, UnitStreams, get_scheme, resolve_scheme_name
 
 #: Cell identifier inside one sweep: ``(i, j)`` for grids, ``(index,)`` for
@@ -74,6 +80,13 @@ class WorkUnit:
         resolves ``REPRO_KERNEL`` / auto in the executing process).  All
         backends are bit-identical, so like ``fastpath`` this is excluded
         from the cache key; kept a plain string so units stay picklable.
+    kernel_threads:
+        Thread-count request for the compiled kernels' row-parallel
+        loops, normalised to ``None`` / ``"auto"`` / a digit string
+        (:func:`repro.kernels.threads.normalize_thread_spec`); ``None``
+        resolves ``REPRO_KERNEL_THREADS`` / auto in the executing
+        process.  Thread counts are bit-identical, so like ``kernel``
+        this is excluded from the cache key.
     seed_scheme:
         Name of the :mod:`repro.seeds` scheme deriving this unit's random
         streams.  Unlike ``fastpath``/``kernel`` the scheme changes the
@@ -93,6 +106,7 @@ class WorkUnit:
     code_seed_path: Optional[SeedPath] = None
     fastpath: bool = True
     kernel: Optional[str] = None
+    kernel_threads: Optional[str] = None
     seed_scheme: str = "per-run"
 
     @property
@@ -121,6 +135,7 @@ class WorkUnit:
             else list(self.code_seed_path),
             "fastpath": self.fastpath,
             "kernel": self.kernel,
+            "kernel_threads": self.kernel_threads,
             "seed_scheme": self.seed_scheme,
         }
 
@@ -169,6 +184,7 @@ def plan_units(
     runs_per_unit: Optional[int] = None,
     fastpath: bool = True,
     kernel: Optional[str] = None,
+    kernel_threads: ThreadSpec = None,
     seed_scheme: SchemeSpec = None,
 ) -> List[WorkUnit]:
     """Shard a sweep into work units.
@@ -189,6 +205,10 @@ def plan_units(
         Execute each unit's run range as one vectorised batch (default).
     kernel:
         Kernel-backend name for the batch decode (``None``: env / auto).
+    kernel_threads:
+        Thread-count request for the compiled kernels (``None``: env /
+        auto); validated and normalised here so a bad ``--kernel-threads``
+        fails at planning time, not inside a worker.
     seed_scheme:
         :mod:`repro.seeds` scheme deriving the run streams (``None``:
         ``REPRO_SEED_SCHEME`` / ``"per-run"``); resolved here so every
@@ -196,6 +216,7 @@ def plan_units(
     """
     chunk = runs if runs_per_unit is None else max(1, int(runs_per_unit))
     scheme_name = resolve_scheme_name(seed_scheme)
+    threads_spec = normalize_thread_spec(kernel_threads)
     units: List[WorkUnit] = []
     for seed_path, config, p, q in configs:
         for run_start in range(0, runs, chunk):
@@ -214,6 +235,7 @@ def plan_units(
                     else None,
                     fastpath=bool(fastpath),
                     kernel=kernel,
+                    kernel_threads=threads_spec,
                     seed_scheme=scheme_name,
                 )
             )
@@ -223,28 +245,85 @@ def plan_units(
 #: Per-process memo of shared FEC codes, keyed by the code-defining parts of
 #: the unit.  Building an LDGM parity-check matrix or a Vandermonde table is
 #: far more expensive than a handful of runs, so worker processes build each
-#: distinct code once and reuse it across the units they execute.
+#: distinct code once and reuse it across the units they execute.  Compiled
+#: decoder prototypes ride the cached instances (and the module-level memo
+#: in :mod:`repro.fastpath.prototypes`), so the bound also bounds how often
+#: a worker recompiles: it comfortably covers a paper figure's distinct
+#: configs plus a long parameter series, where the old bound of 8 thrashed
+#: on resumed/repeated units.  The lock makes the check-then-build race
+#: safe for thread-executor workers sharing this cache.
 _CODE_CACHE: Dict[tuple, object] = {}
-_CODE_CACHE_MAX = 8
+_CODE_CACHE_MAX = 64
+_CODE_CACHE_LOCK = threading.Lock()
+
+
+def _shared_code_key(unit: WorkUnit) -> tuple:
+    from repro.store.codec import config_token
+
+    return (config_token(unit.config), unit.base_seed, unit.code_seed_path)
 
 
 def _shared_code(unit: WorkUnit):
-    from repro.store.codec import config_token
+    from repro.fastpath.prototypes import set_prototype_memo_token
 
-    key = (config_token(unit.config), unit.base_seed, unit.code_seed_path)
-    code = _CODE_CACHE.get(key)
-    if code is None:
-        if unit.code_seed_path is None:
-            seed = np.random.default_rng(unit.base_seed)
-        else:
-            seed = np.random.default_rng(
-                np.random.SeedSequence([unit.base_seed, *unit.code_seed_path])
-            )
-        code = unit.config.build_code(seed=seed)
-        if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
-            _CODE_CACHE.pop(next(iter(_CODE_CACHE)))
-        _CODE_CACHE[key] = code
+    key = _shared_code_key(unit)
+    with _CODE_CACHE_LOCK:
+        code = _CODE_CACHE.get(key)
+        if code is None:
+            if unit.code_seed_path is None:
+                seed = np.random.default_rng(unit.base_seed)
+            else:
+                seed = np.random.default_rng(
+                    np.random.SeedSequence([unit.base_seed, *unit.code_seed_path])
+                )
+            code = unit.config.build_code(seed=seed)
+            # The key is the code's *semantic* identity (the build is a
+            # pure function of config + seed), so a rebuilt instance may
+            # reuse prototypes compiled for an evicted twin.
+            set_prototype_memo_token(code, key)
+            if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
+                _CODE_CACHE.pop(next(iter(_CODE_CACHE)))
+            _CODE_CACHE[key] = code
     return code
+
+
+def warm_unit(unit: WorkUnit) -> None:
+    """Pre-build the shared state ``unit`` will need: code + prototype.
+
+    Called by pool initializers so a fresh worker pays the per-process
+    code build and prototype compile during pool start-up (in parallel
+    across workers) instead of serialised inside its first chunk.
+    Best-effort by design: units whose execution would not touch the
+    shared caches (fresh code per run, incremental path) warm nothing,
+    and kernel resolution degrades exactly as it would at execution time.
+    """
+    if unit.fresh_code_per_run or not unit.fastpath:
+        return
+    from repro.fastpath.prototypes import compile_prototype
+    from repro.kernels.registry import get_backend_for_run
+
+    compile_prototype(_shared_code(unit), get_backend_for_run(unit.kernel))
+
+
+def warm_units(units: Sequence[WorkUnit], limit: int = 8) -> List[WorkUnit]:
+    """One representative unit per distinct shared-code identity.
+
+    The pre-warm set a pool initializer should compile, capped so the
+    initializer stays cheap for sweeps with very many configurations.
+    """
+    seen = set()
+    representatives: List[WorkUnit] = []
+    for unit in units:
+        if unit.fresh_code_per_run or not unit.fastpath:
+            continue
+        key = (_shared_code_key(unit), unit.kernel)
+        if key in seen:
+            continue
+        seen.add(key)
+        representatives.append(unit)
+        if len(representatives) >= limit:
+            break
+    return representatives
 
 
 def _unit_streams(unit: WorkUnit) -> UnitStreams:
@@ -271,8 +350,15 @@ def _unit_batch(unit: WorkUnit) -> RunResultBatch:
     constructed on this host (missing compiler, broken numba install)
     falls back down the ``auto`` chain with a logged warning instead of
     killing the unit -- all backends are bit-identical, so degradation
-    never changes results.
+    never changes results.  The unit's ``kernel_threads`` request scopes
+    the whole execution (synthesis *and* decode), so every compiled
+    kernel call under it resolves the same thread count.
     """
+    with thread_count_context(unit.kernel_threads):
+        return _unit_batch_impl(unit)
+
+
+def _unit_batch_impl(unit: WorkUnit) -> RunResultBatch:
     from repro.fastpath import simulate_batch_columnar
     from repro.kernels.registry import get_backend_for_run
 
@@ -405,5 +491,7 @@ __all__ = [
     "plan_units",
     "execute_unit",
     "execute_units",
+    "warm_unit",
+    "warm_units",
     "merge_cell",
 ]
