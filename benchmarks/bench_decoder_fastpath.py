@@ -20,12 +20,13 @@ Every (kernel, family) sample is checked for bit-identity against the
 serial path before timing -- including the multi-threaded samples, whose
 row-parallel OpenMP decode must produce the exact same bytes as one
 thread.  The measured throughputs are appended to ``benchmarks/BENCH.json``
-(schema 5: single-thread per-kernel columns pinned to ``kernel_threads=1``
-for comparability with prior entries, ``threads_runs_per_sec*`` columns at
-the ``auto``-resolved team size, core-count / OpenMP provenance, and a
-fleet wall-clock row running one multi-core fleet member on the
-shared-memory thread executor) so the performance trajectory of the
-decode path is recorded PR over PR; the ``fastpath_runs_per_sec``
+(schema 6: schema 5's single-thread per-kernel columns pinned to
+``kernel_threads=1`` for comparability with prior entries,
+``threads_runs_per_sec*`` columns at the ``auto``-resolved team size,
+core-count / OpenMP provenance and a fleet wall-clock row, plus an
+``adaptive`` row comparing one sequential-stopping sweep of a
+paper-shaped grid against the exhaustive fixed sweep) so the performance
+trajectory of the decode path is recorded PR over PR; the ``fastpath_runs_per_sec``
 headline is the ``auto``-selected backend, and
 ``speedup_vs_prev_fastpath`` compares it against the previous entry's
 headline on the same seeds and batch size.
@@ -87,15 +88,20 @@ BATCH_RUNS = 960
 #: regenerable CSV output and is gitignored; the trajectory is not).
 BENCH_JSON = Path(__file__).parent / "BENCH.json"
 
-#: Current ledger schema: 5 adds multi-threaded kernel columns
-#: (``threads_runs_per_sec_by_kernel`` / ``unit_threads_runs_per_sec_by_
-#: kernel`` at the ``auto``-resolved OpenMP team size, with the historical
-#: per-kernel columns now pinned to ``kernel_threads=1`` so they stay
-#: comparable across entries), core-count + OpenMP provenance and a fleet
-#: wall-clock row, on top of schema 3's per-seed-scheme columns
-#: (``unit_runs_per_sec*``) and schema 2's per-kernel columns and numba /
-#: C-compiler provenance (schema 4 was the store benchmark's bump).
-BENCH_SCHEMA = 5
+#: Current ledger schema: 6 adds an ``adaptive`` row -- one adaptive
+#: (sequential-stopping) sweep of a paper-shaped 14 x 14 grid at the
+#: default confidence against the exhaustive fixed sweep on the same
+#: seeds, recording the run budget executed vs exhaustive, the saved
+#: fraction and the wall-clock of both.  Schema 5 added multi-threaded
+#: kernel columns (``threads_runs_per_sec_by_kernel`` /
+#: ``unit_threads_runs_per_sec_by_kernel`` at the ``auto``-resolved
+#: OpenMP team size, with the historical per-kernel columns pinned to
+#: ``kernel_threads=1`` so they stay comparable across entries),
+#: core-count + OpenMP provenance and a fleet wall-clock row, on top of
+#: schema 3's per-seed-scheme columns (``unit_runs_per_sec*``) and
+#: schema 2's per-kernel columns and numba / C-compiler provenance
+#: (schema 4 was the store benchmark's bump).
+BENCH_SCHEMA = 6
 
 
 def _bench_kernels() -> list[str]:
@@ -309,6 +315,82 @@ def _measure_fleet(threads: int) -> dict:
     }
 
 
+def _measure_adaptive(threads: int) -> dict:
+    """Adaptive sweep vs the exhaustive fixed sweep on a paper-shaped grid.
+
+    One ldgm-staircase sweep of the paper's 14 x 14 (p, q) grid at k = 1000
+    with a 100-run budget: once adaptively (sequential stopping at the
+    default confidence / CI width) and once exhaustively with the same
+    seeds and unit boundaries.  What the ledger tracks is the executed
+    fraction of the run budget -- the fastest run is the one never
+    executed -- plus the wall-clock of both sides so the saved fraction is
+    backed by a measured speedup.  Settled-cell bit-identity between the
+    two sides is enforced by the test suite and the ``adaptive-sweeps``
+    CI gate; the benchmark asserts only the acceptance floor (at most a
+    third of the exhaustive budget executed).
+    """
+    from repro.adaptive import AdaptiveConfig
+    from repro.channel.gilbert import paper_grid
+    from repro.core.config import SimulationConfig
+    from repro.runner.engine import run_adaptive, run_grid
+
+    config = SimulationConfig(
+        code="ldgm-staircase", tx_model=TX_MODEL, k=K, expansion_ratio=2.5
+    )
+    p_values, q_values = paper_grid()
+    budget = 100
+    cfg = AdaptiveConfig()
+
+    started = time.perf_counter()
+    grid = run_adaptive(
+        config,
+        p_values,
+        q_values,
+        runs=budget,
+        seed=BENCH_SEED,
+        adaptive=cfg,
+        kernel_threads=threads,
+    )
+    adaptive_elapsed = time.perf_counter() - started
+    meta = grid.metadata["adaptive"]
+
+    started = time.perf_counter()
+    run_grid(
+        config,
+        p_values,
+        q_values,
+        runs=budget,
+        seed=BENCH_SEED,
+        runs_per_unit=cfg.min_runs,
+        kernel_threads=threads,
+    )
+    exhaustive_elapsed = time.perf_counter() - started
+
+    if meta["executed_runs"] * 3 > meta["exhaustive_runs"]:
+        raise AssertionError(
+            f"adaptive sweep executed {meta['executed_runs']} of "
+            f"{meta['exhaustive_runs']} runs -- more than a third of the "
+            f"exhaustive budget"
+        )
+    return {
+        "code": "ldgm-staircase",
+        "grid_points": len(p_values) * len(q_values),
+        "budget": budget,
+        "confidence": cfg.confidence,
+        "ci_width": cfg.ci_width,
+        "rel_tol": cfg.rel_tol,
+        "min_runs": cfg.min_runs,
+        "executed_runs": meta["executed_runs"],
+        "exhaustive_runs": meta["exhaustive_runs"],
+        "saved_fraction": meta["saved_fraction"],
+        "rounds": meta["rounds"],
+        "settled_cells": int(np.asarray(meta["settled"]).sum()),
+        "wall_clock_sec": round(adaptive_elapsed, 3),
+        "exhaustive_wall_clock_sec": round(exhaustive_elapsed, 3),
+        "wall_clock_speedup": round(exhaustive_elapsed / adaptive_elapsed, 2),
+    }
+
+
 def _previous_fastpath(payload: dict) -> dict:
     """Headline fastpath runs/sec per code of the ledger's last entry."""
     entries = payload.get("entries", [])
@@ -342,6 +424,7 @@ def run_benchmark() -> dict:
         **_provenance(threads),
         "results": rows,
         "fleet": _measure_fleet(threads),
+        "adaptive": _measure_adaptive(threads),
     }
     return entry
 
@@ -407,6 +490,16 @@ def main() -> int:
         f"{fleet['grid_points']} x {fleet['runs_per_point']} runs of "
         f"{fleet['code']} in {fleet['wall_clock_sec']:.2f}s "
         f"({fleet['runs_per_sec']:.1f} runs/s)"
+    )
+    adaptive = entry["adaptive"]
+    print(
+        f"  adaptive: {adaptive['grid_points']}-cell paper-shaped grid, "
+        f"budget {adaptive['budget']}: {adaptive['executed_runs']}/"
+        f"{adaptive['exhaustive_runs']} runs executed "
+        f"({adaptive['saved_fraction']:.0%} saved, "
+        f"{adaptive['rounds']} rounds) in {adaptive['wall_clock_sec']:.2f}s "
+        f"vs exhaustive {adaptive['exhaustive_wall_clock_sec']:.2f}s "
+        f"({adaptive['wall_clock_speedup']:.2f}x)"
     )
     destination = append_to_bench_json(entry)
     print(f"recorded in {destination}")

@@ -48,6 +48,13 @@ The package is organised as a set of small, composable subsystems:
     sharding, serial / process-pool executors, resumable result stores,
     cooperative coordinator-free fleet execution over lease-capable
     stores, and the ``python -m repro`` CLI.
+``repro.adaptive``
+    The adaptive sweep controller: sequential stopping per grid cell
+    (Wilson interval on decode probability, t-interval on mean
+    inefficiency) with geometric run-count escalation, and bisection
+    refinement of the decode-probability cliff -- planned as ordinary
+    work units, so adaptive results cache, fleet, and stay bit-identical
+    to fixed sweeps at the same per-cell run counts.
 ``repro.flute``
     A small in-process FLUTE/ALC-like file-delivery substrate showing the
     codes and schedulers in their motivating context.
@@ -67,6 +74,7 @@ Quickstart
 (2, 2)
 """
 
+from repro.adaptive import AdaptiveConfig, adaptive_grid
 from repro.channel import (
     BernoulliChannel,
     GilbertChannel,
@@ -109,6 +117,8 @@ from repro.store import (
 __version__ = "1.4.0"
 
 __all__ = [
+    "AdaptiveConfig",
+    "adaptive_grid",
     "BernoulliChannel",
     "GilbertChannel",
     "PerfectChannel",

@@ -1,0 +1,28 @@
+"""Adaptive sweeps: sequential stopping and decode-cliff refinement.
+
+The controller in :mod:`repro.adaptive.controller` replans a (p, q) grid
+sweep round by round, stopping each cell as soon as its statistics are
+settled to the requested confidence, and (optionally) bisecting between
+decodable/undecodable neighbours to localise the decode-probability
+cliff.  Every round plans ordinary work units through the existing
+engine, so results cache, lease, and fleet exactly like a fixed sweep --
+and are bit-identical to one truncated at the same per-cell run counts.
+"""
+
+from repro.adaptive.controller import (
+    AdaptiveConfig,
+    AdaptiveSpec,
+    adaptive_grid,
+    plan_first_round,
+    resolve_adaptive,
+    round_schedule,
+)
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveSpec",
+    "adaptive_grid",
+    "plan_first_round",
+    "resolve_adaptive",
+    "round_schedule",
+]

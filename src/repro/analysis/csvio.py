@@ -27,6 +27,13 @@ def grid_to_csv(grid: GridResult, destination: Union[PathLike, io.TextIOBase, No
     buffer = io.StringIO()
     buffer.write(f"# label: {grid.label}\n")
     buffer.write(f"# runs: {grid.runs}\n")
+    # Adaptive sweeps stop each cell at its own run count; emitting it in
+    # the per-row runs column keeps every settled row byte-identical to
+    # the row a fixed sweep at that cell's final run count would write.
+    runs_per_cell = None
+    adaptive_meta = grid.metadata.get("adaptive") if grid.metadata else None
+    if adaptive_meta and "runs_per_cell" in adaptive_meta:
+        runs_per_cell = np.asarray(adaptive_meta["runs_per_cell"], dtype=np.int64)
     writer = csv.writer(buffer)
     writer.writerow(["p", "q", "mean_inefficiency", "mean_received_ratio", "failures", "runs"])
     for i, p in enumerate(grid.p_values):
@@ -39,7 +46,7 @@ def grid_to_csv(grid: GridResult, destination: Union[PathLike, io.TextIOBase, No
                     "" if not np.isfinite(inefficiency) else f"{inefficiency:.6f}",
                     f"{grid.mean_received_ratio[i, j]:.6f}",
                     int(grid.failure_counts[i, j]),
-                    grid.runs,
+                    int(runs_per_cell[i, j]) if runs_per_cell is not None else grid.runs,
                 ]
             )
     text = buffer.getvalue()

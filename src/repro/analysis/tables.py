@@ -57,6 +57,56 @@ def format_grid_table(
     return "\n".join(lines)
 
 
+def format_runs_table(
+    grid: GridResult,
+    *,
+    percent_axes: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Format an adaptive sweep's per-cell run counts in the grid layout.
+
+    Rows/columns mirror :func:`format_grid_table`; each cell shows how
+    many runs the adaptive controller executed there, with a trailing
+    ``*`` on cells that exhausted the budget without settling.  Falls
+    back to the grid's uniform run count when no adaptive metadata is
+    present.
+    """
+    adaptive_meta = grid.metadata.get("adaptive") if grid.metadata else None
+    if adaptive_meta and "runs_per_cell" in adaptive_meta:
+        runs = np.asarray(adaptive_meta["runs_per_cell"], dtype=np.int64)
+        settled = np.asarray(
+            adaptive_meta.get("settled", np.ones(runs.shape, dtype=bool)), dtype=bool
+        )
+    else:
+        runs = np.full(grid.shape, grid.runs, dtype=np.int64)
+        settled = np.ones(grid.shape, dtype=bool)
+
+    scale = 100.0 if percent_axes else 1.0
+    axis_format = "{:g}"
+    header_cells = [axis_format.format(q * scale) for q in grid.q_values]
+    value_cells = [
+        f"{runs[i, j]}{'' if settled[i, j] else '*'}"
+        for i in range(grid.p_values.size)
+        for j in range(grid.q_values.size)
+    ]
+    cell_width = max(
+        *(len(cell) for cell in header_cells), *(len(cell) for cell in value_cells)
+    ) + 2
+
+    lines: list[str] = []
+    lines.append(title if title is not None else f"{grid.label} (runs per cell)")
+    lines.append(
+        "p \\ q".ljust(8) + "".join(cell.rjust(cell_width) for cell in header_cells)
+    )
+    for i, p in enumerate(grid.p_values):
+        row = [axis_format.format(p * scale).ljust(8)]
+        for j in range(grid.q_values.size):
+            cell = f"{runs[i, j]}{'' if settled[i, j] else '*'}"
+            row.append(cell.rjust(cell_width))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
 def format_comparison_table(
     values: Mapping[str, Mapping[str, float]],
     *,
@@ -92,4 +142,4 @@ def format_comparison_table(
     return "\n".join(lines)
 
 
-__all__ = ["format_grid_table", "format_comparison_table"]
+__all__ = ["format_grid_table", "format_runs_table", "format_comparison_table"]

@@ -286,6 +286,7 @@ def run_experiment(
     lease_ttl: Optional[float] = None,
     worker_id: Optional[str] = None,
     failure_policy=None,
+    adaptive=None,
     progress_factory: Optional[ProgressFactory] = None,
 ) -> Dict[str, GridResult]:
     """Run every configuration of an experiment and return grids by label.
@@ -314,6 +315,11 @@ def run_experiment(
         every sweep: retries with deterministic backoff, per-unit
         timeouts, and skip/quarantine handling of units that exhaust
         their attempts.
+    adaptive:
+        ``None`` (default) runs fixed sweeps; an
+        :class:`repro.adaptive.AdaptiveConfig` (or ``True`` / a kwargs
+        dict) switches every grid to the sequential-stopping controller,
+        with ``runs`` as the per-cell budget.
     progress_factory:
         Called with the 1-based index of each configuration before its
         sweep; returns that sweep's ``(done, total)`` progress callback.
@@ -344,6 +350,7 @@ def run_experiment(
             lease_ttl=lease_ttl,
             worker_id=worker_id,
             failure_policy=failure_policy,
+            adaptive=adaptive,
         )
         results[config.display_label] = grid
     return results

@@ -209,27 +209,135 @@ class RunResultBatch:
 
 @dataclass
 class CellStats:
-    """Aggregate of the runs at a single (p, q) grid point."""
+    """Aggregate of the runs at a single (p, q) grid point.
+
+    Besides the raw ratio lists (kept for the bit-identity aggregation
+    rule), the stats maintain *streaming* Welford accumulators over the
+    inefficiency ratios of the decoded runs, so ``count`` / ``variance``
+    / ``stderr`` and the confidence intervals the adaptive stopping rule
+    needs are O(1) reads no matter how many runs were added.  Single
+    results update the accumulators run by run (Welford); batches merge
+    in one step (Chan et al.'s parallel combination), which is what
+    keeps ``add_batch`` columnar.
+    """
 
     runs: int = 0
     failures: int = 0
     inefficiency_ratios: list[float] = field(default_factory=list)
     received_ratios: list[float] = field(default_factory=list)
+    # Welford accumulators over the decoded runs' inefficiency ratios.
+    # Excluded from equality: the batch (Chan) and per-run (Welford)
+    # update orders agree only to rounding, and the raw ratio lists
+    # above already define the cell's identity exactly.
+    _ineff_count: int = field(default=0, compare=False, repr=False)
+    _ineff_mean: float = field(default=0.0, compare=False, repr=False)
+    _ineff_m2: float = field(default=0.0, compare=False, repr=False)
+
+    def _stream_one(self, value: float) -> None:
+        self._ineff_count += 1
+        delta = value - self._ineff_mean
+        self._ineff_mean += delta / self._ineff_count
+        self._ineff_m2 += delta * (value - self._ineff_mean)
+
+    def _stream_many(self, values: Sequence[float]) -> None:
+        count = len(values)
+        if count == 0:
+            return
+        if count == 1:
+            self._stream_one(float(values[0]))
+            return
+        batch = np.asarray(values, dtype=float)
+        batch_mean = float(batch.mean())
+        batch_m2 = float(np.square(batch - batch_mean).sum())
+        delta = batch_mean - self._ineff_mean
+        total = self._ineff_count + count
+        self._ineff_mean += delta * count / total
+        self._ineff_m2 += batch_m2 + delta * delta * self._ineff_count * count / total
+        self._ineff_count = total
 
     def add(self, result: RunResult) -> None:
         self.runs += 1
         self.received_ratios.append(result.received_ratio)
         if result.decoded:
-            self.inefficiency_ratios.append(result.inefficiency_ratio)
+            ratio = result.inefficiency_ratio
+            self.inefficiency_ratios.append(ratio)
+            self._stream_one(ratio)
         else:
             self.failures += 1
 
     def add_batch(self, batch: RunResultBatch) -> None:
         """Columnar bulk :meth:`add`: one call per work unit, not per run."""
+        ratios = batch.inefficiency_ratios().tolist()
         self.runs += batch.runs
         self.failures += batch.failures
         self.received_ratios.extend(batch.received_ratios().tolist())
-        self.inefficiency_ratios.extend(batch.inefficiency_ratios().tolist())
+        self.inefficiency_ratios.extend(ratios)
+        self._stream_many(ratios)
+
+    def add_ratios(
+        self,
+        inefficiency_ratios: Sequence[float],
+        received_ratios: Sequence[float],
+        failures: int,
+    ) -> None:
+        """Bulk add from pre-computed ratio columns (work-unit results).
+
+        ``inefficiency_ratios`` covers the decoded runs only and
+        ``received_ratios`` every run, matching
+        :class:`repro.runner.units.UnitResult` -- this is how the
+        adaptive controller folds unit results in without a kernel or
+        runner import in this module.
+        """
+        self.runs += len(received_ratios)
+        self.failures += failures
+        self.received_ratios.extend(float(r) for r in received_ratios)
+        ratios = [float(r) for r in inefficiency_ratios]
+        self.inefficiency_ratios.extend(ratios)
+        self._stream_many(ratios)
+
+    @property
+    def count(self) -> int:
+        """Total runs observed (decoded or not)."""
+        return self.runs
+
+    @property
+    def decoded(self) -> int:
+        """Number of runs that decoded."""
+        return self.runs - self.failures
+
+    @property
+    def decode_probability(self) -> float:
+        """Empirical decode probability (NaN before any run)."""
+        if self.runs == 0:
+            return float("nan")
+        return (self.runs - self.failures) / self.runs
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1) of the decoded runs' inefficiency ratios."""
+        if self._ineff_count < 2:
+            return float("nan")
+        return self._ineff_m2 / (self._ineff_count - 1)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean inefficiency over decoded runs."""
+        variance = self.variance
+        if not np.isfinite(variance):
+            return float("nan")
+        return float(np.sqrt(variance / self._ineff_count))
+
+    def decode_ci(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Wilson score interval on the decode probability."""
+        from repro.utils.stats import wilson_interval
+
+        return wilson_interval(self.runs - self.failures, self.runs, confidence)
+
+    def inefficiency_ci_halfwidth(self, confidence: float = 0.95) -> float:
+        """Student-t half-width on the mean inefficiency of decoded runs."""
+        from repro.utils.stats import mean_interval_halfwidth
+
+        return mean_interval_halfwidth(self._ineff_count, self.variance, confidence)
 
     @property
     def all_decoded(self) -> bool:
@@ -292,8 +400,14 @@ class GridResult:
 
     @property
     def decodable_mask(self) -> np.ndarray:
-        """Boolean matrix: True where every run decoded."""
-        return self.failure_counts == 0
+        """Boolean matrix: True where every run decoded.
+
+        A cell that executed no runs at all (``--on-error skip`` dropped
+        its only unit) has zero recorded failures but a NaN mean, so the
+        finite-mean check keeps empty cells out of the decodable region
+        instead of letting their NaN poison the aggregates below.
+        """
+        return (self.failure_counts == 0) & np.isfinite(self.mean_inefficiency)
 
     @property
     def coverage(self) -> float:
@@ -335,8 +449,18 @@ class SeriesResult:
     metadata: dict = field(default_factory=dict)
 
     def best_parameter(self) -> float:
-        """Parameter value with the smallest mean inefficiency."""
-        values = np.where(self.failure_counts == 0, self.mean_inefficiency, np.inf)
+        """Parameter value with the smallest mean inefficiency.
+
+        Cells with failures *or* without a finite mean (``--on-error
+        skip`` can leave a cell empty: zero failures recorded, NaN mean)
+        are excluded; with no decodable cell at all the answer is NaN
+        rather than an arbitrary index ``np.argmin`` would pick from a
+        NaN-contaminated array.
+        """
+        candidates = (self.failure_counts == 0) & np.isfinite(self.mean_inefficiency)
+        if not candidates.any():
+            return float("nan")
+        values = np.where(candidates, self.mean_inefficiency, np.inf)
         return float(self.parameter_values[int(np.argmin(values))])
 
 

@@ -23,6 +23,7 @@ from repro.runner.engine import (
     CacheSpec,
     ExecutorSpec,
     ProgressCallback,
+    run_adaptive,
     run_grid,
     run_series,
 )
@@ -52,6 +53,7 @@ def simulate_grid(
     lease_ttl: Optional[float] = None,
     worker_id: Optional[str] = None,
     failure_policy: Optional[FailurePolicy] = None,
+    adaptive=None,
 ) -> GridResult:
     """Sweep the Gilbert (p, q) grid for one configuration.
 
@@ -114,7 +116,38 @@ def simulate_grid(
         units with deterministic backoff, bound their runtime, and skip
         or quarantine units that exhaust their attempts instead of
         aborting the sweep (see :mod:`repro.resilience`).
+    adaptive:
+        ``None``/``False`` (default) runs the fixed sweep.  An
+        :class:`repro.adaptive.AdaptiveConfig`, a kwargs dict, or
+        ``True`` switches to the sequential-stopping controller:
+        ``runs`` becomes the per-cell budget, each cell stops as soon as
+        its confidence intervals settle, and the grid's
+        ``metadata["adaptive"]`` records per-cell run counts and the
+        saved-runs summary.  Settled cells are bit-identical to the
+        fixed sweep at the same run count.
     """
+    if adaptive is not None and adaptive is not False:
+        return run_adaptive(
+            config,
+            p_values,
+            q_values,
+            runs=runs,
+            seed=seed,
+            adaptive=adaptive,
+            fresh_code_per_run=fresh_code_per_run,
+            progress=progress,
+            executor=executor,
+            workers=workers,
+            cache=cache,
+            fastpath=fastpath,
+            kernel=kernel,
+            kernel_threads=kernel_threads,
+            seed_scheme=seed_scheme,
+            fleet=fleet,
+            lease_ttl=lease_ttl,
+            worker_id=worker_id,
+            failure_policy=failure_policy,
+        )
     return run_grid(
         config,
         p_values,

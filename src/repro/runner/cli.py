@@ -53,8 +53,9 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.adaptive import AdaptiveConfig, plan_first_round
 from repro.analysis.csvio import grid_to_csv, label_slug
-from repro.analysis.tables import format_grid_table
+from repro.analysis.tables import format_grid_table, format_runs_table
 from repro.core.experiments import (
     EXPERIMENTS,
     SCALES,
@@ -73,7 +74,7 @@ from repro.resilience import (
 )
 from repro.runner.cache import DEFAULT_CACHE_DIR
 from repro.runner.fleet import DEFAULT_LEASE_TTL
-from repro.runner.units import WorkUnit, execute_unit
+from repro.runner.units import WorkUnit, execute_unit, plan_units
 from repro.seeds import resolve_scheme_name
 from repro.store import (
     DEFAULT_HOST,
@@ -237,6 +238,91 @@ def _build_parser() -> argparse.ArgumentParser:
             "Philox generator per work unit; whole-unit block draws, "
             "deterministic but a different stream, cached separately).  "
             "Also settable via the REPRO_SEED_SCHEME environment variable"
+        ),
+    )
+    run.add_argument(
+        "--adaptive",
+        action="store_true",
+        help=(
+            "adaptive sweep: stop each grid cell as soon as its Wilson "
+            "interval on the decode probability (--ci-width) and its "
+            "t-interval on the mean inefficiency (--rel-tol) are settled "
+            "at --confidence, escalating run counts geometrically up to "
+            "the budget (--max-runs / --runs / the scale's runs).  "
+            "Settled cells are bit-identical to a fixed sweep at the "
+            "same per-cell run count"
+        ),
+    )
+    run.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        metavar="LEVEL",
+        help="confidence level of the adaptive stopping intervals (default: 0.95)",
+    )
+    run.add_argument(
+        "--ci-width",
+        type=float,
+        default=0.25,
+        metavar="WIDTH",
+        help=(
+            "maximum Wilson-interval width on the decode probability for "
+            "a cell to settle (default: 0.25)"
+        ),
+    )
+    run.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.02,
+        metavar="FRACTION",
+        help=(
+            "maximum t-interval half-width on the mean inefficiency, as a "
+            "fraction of the mean, for a fully-decoding cell to settle "
+            "(default: 0.02)"
+        ),
+    )
+    run.add_argument(
+        "--min-runs",
+        type=int,
+        default=8,
+        metavar="N",
+        help=(
+            "adaptive first-round run count and planning chunk size "
+            "(default: 8); the determinism contract compares against a "
+            "fixed sweep sharded at this granularity"
+        ),
+    )
+    run.add_argument(
+        "--max-runs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "adaptive per-cell run budget (default: --runs, else the "
+            "scale's runs); cells that refuse to settle stop here"
+        ),
+    )
+    run.add_argument(
+        "--refine-cliff",
+        nargs="?",
+        type=float,
+        const=0.01,
+        default=None,
+        metavar="RESOLUTION",
+        help=(
+            "after the adaptive grid settles, bisect (p, q) between "
+            "decodable/undecodable neighbours until the decode cliff is "
+            "localised to this resolution (default when given without a "
+            "value: 0.01); implies --adaptive.  Refined cells appear in "
+            "the grid metadata and the summary"
+        ),
+    )
+    run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help=(
+            "plan the sweep and print the unit counts (for --adaptive: "
+            "the first round's) without executing anything"
         ),
     )
     run.add_argument(
@@ -480,6 +566,77 @@ def _cmd_run(args, out, err) -> int:
     if policy is not None and policy.on_error == "quarantine" and cache is None:
         raise ValueError("--on-error quarantine needs a result store; drop --no-cache")
 
+    adaptive_cfg = None
+    if args.adaptive or args.refine_cliff is not None:
+        adaptive_cfg = AdaptiveConfig(
+            confidence=args.confidence,
+            ci_width=args.ci_width,
+            rel_tol=args.rel_tol,
+            min_runs=args.min_runs,
+            refine_cliff=args.refine_cliff is not None,
+            refine_resolution=(
+                args.refine_cliff if args.refine_cliff is not None else 0.01
+            ),
+        )
+    elif args.max_runs is not None:
+        raise ValueError("--max-runs needs --adaptive (or --refine-cliff)")
+    runs_arg = args.runs
+    if adaptive_cfg is not None and args.max_runs is not None:
+        runs_arg = args.max_runs
+
+    if args.dry_run:
+        if cache is not None:
+            cache.close()
+        scale = SCALES[args.scale]
+        budget = runs_arg if runs_arg is not None else scale.runs
+        total_units = 0
+        for config in spec.scaled_configs(scale):
+            if adaptive_cfg is not None:
+                units = plan_first_round(
+                    config,
+                    scale.p_values,
+                    scale.q_values,
+                    runs=budget,
+                    seed=args.seed,
+                    adaptive=adaptive_cfg,
+                    fastpath=args.fastpath,
+                    kernel=kernel_name,
+                    kernel_threads=kernel_threads,
+                    seed_scheme=scheme_name,
+                )
+                kind = (
+                    f"first adaptive round, "
+                    f"{min(adaptive_cfg.min_runs, budget)} runs/cell "
+                    f"of a {budget}-run budget"
+                )
+            else:
+                cells = [
+                    ((i, j), config, float(p), float(q))
+                    for i, p in enumerate(scale.p_values)
+                    for j, q in enumerate(scale.q_values)
+                ]
+                units = plan_units(
+                    cells,
+                    runs=budget,
+                    base_seed=args.seed,
+                    fastpath=args.fastpath,
+                    kernel=kernel_name,
+                    kernel_threads=kernel_threads,
+                    seed_scheme=scheme_name,
+                )
+                kind = f"{budget} runs/cell"
+            total_units += len(units)
+            print(
+                f"  {config.display_label:55s} {len(units):4d} units ({kind})",
+                file=out,
+            )
+        print(
+            f"dry run: {total_units} units planned across "
+            f"{total_configs} configs; nothing executed",
+            file=out,
+        )
+        return 0
+
     print(
         f"{spec.paper_reference}: {spec.title}\n"
         f"scale={args.scale} seed={args.seed} seed-scheme={scheme_name} "
@@ -492,6 +649,18 @@ def _cmd_run(args, out, err) -> int:
         + (
             f" retries={policy.max_retries} on-error={policy.on_error}"
             if policy is not None
+            else ""
+        )
+        + (
+            f" adaptive=on confidence={adaptive_cfg.confidence:g}"
+            f" ci-width={adaptive_cfg.ci_width:g}"
+            f" rel-tol={adaptive_cfg.rel_tol:g}"
+            + (
+                f" refine-cliff={adaptive_cfg.refine_resolution:g}"
+                if adaptive_cfg.refine_cliff
+                else ""
+            )
+            if adaptive_cfg is not None
             else ""
         ),
         file=out,
@@ -521,7 +690,7 @@ def _cmd_run(args, out, err) -> int:
             args.experiment,
             scale=args.scale,
             seed=args.seed,
-            runs=args.runs,
+            runs=runs_arg,
             executor=args.executor,
             workers=args.workers,
             cache=cache,
@@ -533,6 +702,7 @@ def _cmd_run(args, out, err) -> int:
             lease_ttl=args.lease_ttl,
             worker_id=args.worker_id,
             failure_policy=policy,
+            adaptive=adaptive_cfg,
             progress_factory=per_config_progress,
         )
         if policy is not None and policy.on_error == "quarantine" and cache is not None:
@@ -552,10 +722,32 @@ def _cmd_run(args, out, err) -> int:
             f"decodable on {grid.coverage:.0%} of the grid",
             file=out,
         )
+        adaptive_meta = grid.metadata.get("adaptive")
+        if adaptive_meta:
+            line = (
+                f"    adaptive: {adaptive_meta['executed_runs']}"
+                f"/{adaptive_meta['exhaustive_runs']} runs executed "
+                f"({adaptive_meta['saved_fraction']:.0%} saved, "
+                f"{adaptive_meta['rounds']} rounds)"
+            )
+            refined = adaptive_meta.get("refined")
+            if refined is not None:
+                line += (
+                    f"; {len(refined)} refined cells localise "
+                    f"{len(adaptive_meta['cliffs'])} cliff edges to "
+                    f"{adaptive_meta['resolution']:g}"
+                )
+            print(line, file=out)
     if args.table:
         for label, grid in results.items():
             print(file=out)
             print(format_grid_table(grid, title=label), file=out)
+            if grid.metadata.get("adaptive"):
+                print(file=out)
+                print(
+                    format_runs_table(grid, title=f"{label} (runs per cell)"),
+                    file=out,
+                )
 
     if args.csv_dir is not None:
         csv_dir = Path(args.csv_dir)

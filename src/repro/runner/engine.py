@@ -283,6 +283,64 @@ def run_grid(
     )
 
 
+def run_adaptive(
+    config: SimulationConfig,
+    p_values: Optional[Sequence[float]] = None,
+    q_values: Optional[Sequence[float]] = None,
+    *,
+    runs: int = 100,
+    seed: RandomState = 0,
+    adaptive=True,
+    fresh_code_per_run: bool = False,
+    progress: Optional[ProgressCallback] = None,
+    executor: ExecutorSpec = "serial",
+    workers: Optional[int] = None,
+    cache: CacheSpec = None,
+    fastpath: bool = True,
+    kernel: Optional[str] = None,
+    kernel_threads: ThreadSpec = None,
+    seed_scheme: SchemeSpec = None,
+    fleet: bool = False,
+    lease_ttl: Optional[float] = None,
+    worker_id: Optional[str] = None,
+    failure_policy: Optional[FailurePolicy] = None,
+) -> GridResult:
+    """Adaptive grid sweep: sequential stopping per cell, same engine.
+
+    ``runs`` is the per-cell *budget*; the controller in
+    :mod:`repro.adaptive` extends each cell round by round (through
+    :func:`_execute`, so caching/fleet/failure policies apply unchanged)
+    and stops it as soon as its confidence intervals are narrow enough.
+    ``adaptive`` takes an :class:`repro.adaptive.AdaptiveConfig`, a
+    kwargs dict, or ``True`` for the defaults.  Settled cells are
+    bit-identical to :func:`run_grid` at the same per-cell run count
+    (with ``runs_per_unit=min_runs``), under both seed schemes.
+    """
+    from repro.adaptive.controller import adaptive_grid
+
+    return adaptive_grid(
+        config,
+        p_values,
+        q_values,
+        runs=runs,
+        seed=seed,
+        adaptive=adaptive,
+        fresh_code_per_run=fresh_code_per_run,
+        progress=progress,
+        executor=executor,
+        workers=workers,
+        cache=cache,
+        fastpath=fastpath,
+        kernel=kernel,
+        kernel_threads=kernel_threads,
+        seed_scheme=seed_scheme,
+        fleet=fleet,
+        lease_ttl=lease_ttl,
+        worker_id=worker_id,
+        failure_policy=failure_policy,
+    )
+
+
 def run_series(
     configs: Sequence[SimulationConfig],
     parameter_values: Sequence[float],
@@ -382,5 +440,6 @@ __all__ = [
     "ExecutorSpec",
     "CacheSpec",
     "run_grid",
+    "run_adaptive",
     "run_series",
 ]

@@ -182,6 +182,7 @@ def plan_units(
     fresh_code_per_run: bool = False,
     code_seed_by_path: bool = False,
     runs_per_unit: Optional[int] = None,
+    first_run: int = 0,
     fastpath: bool = True,
     kernel: Optional[str] = None,
     kernel_threads: ThreadSpec = None,
@@ -198,6 +199,14 @@ def plan_units(
         keeps one unit per cell (the cache granularity used by default).
         Under the ``"unit"`` seed scheme the sharding also selects the
         counter windows, so it is part of the stream definition there.
+    first_run:
+        Plan only the run range ``[first_run, runs)`` of each cell.  The
+        adaptive controller uses this to *extend* already-executed cells
+        round by round; keeping ``first_run`` a multiple of
+        ``runs_per_unit`` keeps the chunk boundaries identical to a
+        from-zero plan, which is what makes adaptive results (including
+        their unit-scheme counter windows and cache keys) bit-identical
+        to a fixed sweep's.
     code_seed_by_path:
         Derive each cell's shared code seed from its ``seed_path`` instead
         of the sweep-wide ``base_seed`` (parameter-sweep behaviour).
@@ -215,11 +224,14 @@ def plan_units(
         planned unit carries an explicit scheme name.
     """
     chunk = runs if runs_per_unit is None else max(1, int(runs_per_unit))
+    first_run = int(first_run)
+    if first_run < 0:
+        raise ValueError(f"first_run must be >= 0, got {first_run}")
     scheme_name = resolve_scheme_name(seed_scheme)
     threads_spec = normalize_thread_spec(kernel_threads)
     units: List[WorkUnit] = []
     for seed_path, config, p, q in configs:
-        for run_start in range(0, runs, chunk):
+        for run_start in range(first_run, runs, chunk):
             units.append(
                 WorkUnit(
                     config=config,
